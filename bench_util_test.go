@@ -1,0 +1,34 @@
+package siren_test
+
+import "net"
+
+// udpSink is a loopback UDP listener that discards datagrams, for transport
+// benchmarks.
+type udpSink struct {
+	pc   net.PacketConn
+	addr string
+	done chan struct{}
+}
+
+func listenUDP() (*udpSink, error) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &udpSink{pc: pc, addr: pc.LocalAddr().String(), done: make(chan struct{})}
+	go func() {
+		buf := make([]byte, 65536)
+		for {
+			if _, _, err := pc.ReadFrom(buf); err != nil {
+				close(s.done)
+				return
+			}
+		}
+	}()
+	return s, nil
+}
+
+func (s *udpSink) close() {
+	s.pc.Close()
+	<-s.done
+}

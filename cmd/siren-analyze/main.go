@@ -1,0 +1,126 @@
+// Command siren-analyze loads a receiver database (WAL file), consolidates
+// the UDP messages into per-process records, and regenerates the paper's
+// tables and figures — the post-processing + statistics stage of the
+// architecture (Figure 1), which the paper implements in Python.
+//
+// Usage:
+//
+//	siren-analyze -db siren.wal [-csv table5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"siren/internal/analysis"
+	"siren/internal/postprocess"
+	"siren/internal/pysec"
+	"siren/internal/report"
+	"siren/internal/sirendb"
+	"siren/internal/ssdeep"
+)
+
+func main() {
+	dbPath := flag.String("db", "siren.wal", "WAL file to analyse")
+	csvTable := flag.String("csv", "", "emit one table as CSV instead of the full report (table2|table3|table5|table8)")
+	audit := flag.Bool("audit", false, "cross-reference Python imports against the insecure-package database (paper §6 future work)")
+	clusters := flag.Int("clusters", 0, "report similarity clusters of user executables at this threshold (0 = off)")
+	flag.Parse()
+
+	db, err := sirendb.Open(*dbPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+	records, stats := postprocess.Consolidate(db)
+	data := analysis.NewDataset(records)
+
+	if *audit {
+		runAudit(data)
+		return
+	}
+	if *clusters > 0 {
+		runClusters(data, *clusters)
+		return
+	}
+	if *csvTable == "" {
+		report.WriteEvaluation(os.Stdout, data, stats)
+		return
+	}
+	switch *csvTable {
+	case "table2":
+		var rows [][]string
+		for _, s := range data.UserStats() {
+			rows = append(rows, []string{s.User, report.Itoa(s.Jobs), report.Itoa(s.SystemProcs),
+				report.Itoa(s.UserProcs), report.Itoa(s.PythonProcs)})
+		}
+		report.CSV(os.Stdout, []string{"user", "jobs", "system", "user", "python"}, rows)
+	case "table3":
+		var rows [][]string
+		for _, e := range data.TopSystemExecutables(0) {
+			rows = append(rows, []string{e.Path, report.Itoa(e.UniqueUsers), report.Itoa(e.Jobs),
+				report.Itoa(e.Processes), report.Itoa(e.UniqueObjectsH)})
+		}
+		report.CSV(os.Stdout, []string{"executable", "users", "jobs", "procs", "objects_h"}, rows)
+	case "table5":
+		var rows [][]string
+		for _, l := range data.DeriveLabels() {
+			rows = append(rows, []string{l.Label, report.Itoa(l.UniqueUsers), report.Itoa(l.Jobs),
+				report.Itoa(l.Processes), report.Itoa(l.UniqueFileH)})
+		}
+		report.CSV(os.Stdout, []string{"label", "users", "jobs", "procs", "file_h"}, rows)
+	case "table8":
+		var rows [][]string
+		for _, s := range data.PythonInterpreters() {
+			rows = append(rows, []string{s.Interpreter, report.Itoa(s.UniqueUsers), report.Itoa(s.Jobs),
+				report.Itoa(s.Processes), report.Itoa(s.UniqueScriptH)})
+		}
+		report.CSV(os.Stdout, []string{"interpreter", "users", "jobs", "procs", "script_h"}, rows)
+	default:
+		fatal(fmt.Errorf("unknown table %q", *csvTable))
+	}
+}
+
+// runAudit matches observed Python imports against the curated advisory DB.
+func runAudit(data *analysis.Dataset) {
+	db := pysec.NewDB()
+	userMap := data.PythonPackageUsers()
+	var obs []pysec.ImportObservation
+	for _, p := range data.PythonPackages() {
+		obs = append(obs, pysec.ImportObservation{
+			Package: p.Package, Users: userMap[p.Package], Jobs: p.Jobs, Processes: p.Processes,
+		})
+	}
+	findings := db.Audit(obs)
+	if len(findings) == 0 {
+		fmt.Println("audit: no flagged Python imports")
+		return
+	}
+	var rows [][]string
+	for _, f := range findings {
+		rows = append(rows, []string{f.Severity.String(), f.Package, strings.Join(f.Users, " "),
+			report.Itoa(f.Jobs), report.Itoa(f.Processes), f.Reason})
+	}
+	report.Table(os.Stdout, "Python import audit (insecure/suspicious packages)",
+		[]string{"severity", "package", "users", "jobs", "procs", "reason"}, rows)
+}
+
+// runClusters prints similarity clusters of user executables.
+func runClusters(data *analysis.Dataset, threshold int) {
+	cs := data.SimilarityClusters(threshold, ssdeep.BackendWeighted)
+	purity, n := analysis.ClusterPurity(cs)
+	fmt.Printf("similarity clusters at threshold %d: %d clusters, label purity %.2f\n\n", threshold, n, purity)
+	var rows [][]string
+	for i, c := range cs {
+		rows = append(rows, []string{report.Itoa(i), c.DominantLabel(),
+			report.Itoa(len(c.Members)), report.Itoa(c.Processes), strings.Join(c.Labels, " ")})
+	}
+	report.Table(os.Stdout, "", []string{"#", "dominant", "binaries", "procs", "labels"}, rows)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "siren-analyze:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,5 @@
+package main
+
+import "time"
+
+func nowUnix() int64 { return time.Now().Unix() }

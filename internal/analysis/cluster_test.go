@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"siren/internal/postprocess"
+	"siren/internal/ssdeep"
+	"siren/internal/toolchain"
+)
+
+// buildFamily compiles a family of related binaries plus one unrelated one
+// and returns user records carrying their FILE_H.
+func buildFamily(t *testing.T) []*postprocess.ProcessRecord {
+	t.Helper()
+	hashOf := func(src toolchain.Source, opts toolchain.BuildOptions) string {
+		art, err := toolchain.Compile(src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := ssdeep.Hash(art.Binary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	icon := toolchain.Source{Name: "icon", Version: "2.6.4",
+		Functions: []string{"icon_run", "icon_out"}, CodeKB: 48}
+	gmx := toolchain.Source{Name: "gromacs", Version: "2024.1",
+		Functions: []string{"gmx_mdrun"}, CodeKB: 48}
+
+	var recs []*postprocess.ProcessRecord
+	add := func(exe, fileH string, times int) {
+		for i := 0; i < times; i++ {
+			recs = append(recs, &postprocess.ProcessRecord{
+				UID: 1001, JobID: "j", Exe: exe, Category: "user", FileH: fileH,
+			})
+		}
+	}
+	add("/scratch/p/icon/b0/icon", hashOf(icon, toolchain.BuildOptions{Compilers: []toolchain.Compiler{toolchain.GCCSUSE}}), 3)
+	add("/scratch/p/icon/b1/icon", hashOf(icon, toolchain.BuildOptions{Compilers: []toolchain.Compiler{toolchain.ClangCray}}), 2)
+	add("/scratch/p/run/a.out", hashOf(icon, toolchain.BuildOptions{Compilers: []toolchain.Compiler{toolchain.GCCSUSE}, Mutations: 40}), 1)
+	add("/appl/gromacs/bin/gmx", hashOf(gmx, toolchain.BuildOptions{Compilers: []toolchain.Compiler{toolchain.LLDAMD}}), 4)
+	return recs
+}
+
+func TestSimilarityClustersGroupFamilies(t *testing.T) {
+	d := NewDataset(buildFamily(t))
+	clusters := d.SimilarityClusters(50, ssdeep.BackendWeighted)
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2 (icon family + gromacs)", len(clusters))
+	}
+	top := clusters[0]
+	if len(top.Members) != 3 {
+		t.Errorf("icon family members = %d, want 3 (two builds + a.out)", len(top.Members))
+	}
+	if top.DominantLabel() != "icon" {
+		t.Errorf("dominant label = %s", top.DominantLabel())
+	}
+	// The unknown a.out was identified by clustering.
+	foundUnknown := false
+	for _, m := range top.Members {
+		if DeriveLabel(m.Exe) == UnknownLabel {
+			foundUnknown = true
+		}
+	}
+	if !foundUnknown {
+		t.Error("a.out not clustered with icon")
+	}
+	if top.Processes != 6 {
+		t.Errorf("icon cluster processes = %d, want 6", top.Processes)
+	}
+
+	purity, n := ClusterPurity(clusters)
+	if purity != 1.0 || n != 2 {
+		t.Errorf("purity = %.2f over %d clusters", purity, n)
+	}
+}
+
+func TestThreshold100IsExactIdentity(t *testing.T) {
+	d := NewDataset(buildFamily(t))
+	clusters := d.SimilarityClusters(100, ssdeep.BackendWeighted)
+	// Four distinct binaries → four singleton clusters.
+	if len(clusters) != 4 {
+		t.Fatalf("clusters at threshold 100 = %d, want 4", len(clusters))
+	}
+	for _, c := range clusters {
+		if len(c.Members) != 1 {
+			t.Errorf("non-singleton at threshold 100: %+v", c.Labels)
+		}
+	}
+}
+
+func TestClusterPurityDetectsBadThreshold(t *testing.T) {
+	// At threshold 1 with a shared compiler fingerprint everything might
+	// merge; purity must then drop below 1 (icon and gromacs differ).
+	d := NewDataset(buildFamily(t))
+	clusters := d.SimilarityClusters(1, ssdeep.BackendWeighted)
+	purity, _ := ClusterPurity(clusters)
+	if len(clusters) == 1 && purity == 1.0 {
+		t.Error("merging unrelated software must cost purity")
+	}
+}
+
+func TestEmptyDatasetClusters(t *testing.T) {
+	d := NewDataset(nil)
+	if got := d.SimilarityClusters(60, ssdeep.BackendWeighted); len(got) != 0 {
+		t.Errorf("clusters of empty dataset = %d", len(got))
+	}
+	purity, n := ClusterPurity(nil)
+	if purity != 1 || n != 0 {
+		t.Errorf("purity of nothing = %.2f/%d", purity, n)
+	}
+}
+
+func TestPythonPackageUsers(t *testing.T) {
+	d := NewDataset([]*postprocess.ProcessRecord{
+		rec(1, "j1", "/usr/bin/python3.10", "python", withImports("numpy", "heapq")),
+		rec(2, "j2", "/usr/bin/python3.10", "python", withImports("numpy")),
+	})
+	users := d.PythonPackageUsers()
+	if got := users["numpy"]; len(got) != 2 || got[0] != "user_1" || got[1] != "user_2" {
+		t.Errorf("numpy users = %q", got)
+	}
+	if got := users["heapq"]; len(got) != 1 {
+		t.Errorf("heapq users = %q", got)
+	}
+}
+
+func BenchmarkSimilarityClusters(b *testing.B) {
+	// 60 binaries in 6 families of 10 variants each.
+	rng := rand.New(rand.NewSource(1))
+	var recs []*postprocess.ProcessRecord
+	for fam := 0; fam < 6; fam++ {
+		src := toolchain.Source{Name: string(rune('a'+fam)) + "app", Version: "1.0",
+			Functions: []string{"main"}, CodeKB: 32}
+		for v := 0; v < 10; v++ {
+			art, err := toolchain.Compile(src, toolchain.BuildOptions{
+				Compilers: []toolchain.Compiler{toolchain.GCCSUSE}, Mutations: v * 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := ssdeep.Hash(art.Binary)
+			if err != nil {
+				b.Fatal(err)
+			}
+			recs = append(recs, &postprocess.ProcessRecord{
+				UID: 1000, JobID: "j", Category: "user",
+				Exe:   "/users/u/" + src.Name + "/v" + string(rune('0'+v)),
+				FileH: h,
+			})
+		}
+	}
+	_ = rng
+	d := NewDataset(recs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clusters := d.SimilarityClusters(55, ssdeep.BackendWeighted)
+		if len(clusters) == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}

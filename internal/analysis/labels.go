@@ -1,0 +1,84 @@
+// Package analysis implements SIREN's post-processing analyses: the user,
+// executable, library, compiler, label, similarity, and Python statistics
+// that make up every table and figure of the paper's evaluation (§4).
+package analysis
+
+import (
+	"regexp"
+	"strings"
+)
+
+// UnknownLabel is assigned to user executables whose path matches no
+// software rule.
+const UnknownLabel = "UNKNOWN"
+
+// labelRule maps a path pattern to a software label, the way system
+// operators label executables with regular expressions (paper §4.3).
+type labelRule struct {
+	label string
+	re    *regexp.Regexp
+}
+
+// labelRules are evaluated in order; first match wins.
+var labelRules = []labelRule{
+	{"LAMMPS", regexp.MustCompile(`(?i)lammps|/lmp[^/]*$`)},
+	{"GROMACS", regexp.MustCompile(`(?i)gromacs|/gmx[^/]*$`)},
+	{"miniconda", regexp.MustCompile(`(?i)conda|mamba`)},
+	{"janko", regexp.MustCompile(`(?i)janko`)},
+	{"icon", regexp.MustCompile(`(?i)icon`)},
+	{"amber", regexp.MustCompile(`(?i)amber|pmemd|sander`)},
+	{"gzip", regexp.MustCompile(`(?i)gzip`)},
+	{"alexandria", regexp.MustCompile(`(?i)alexandria`)},
+	{"RadRad", regexp.MustCompile(`(?i)radrad`)},
+}
+
+// DeriveLabel maps an executable path to a software label (UNKNOWN when no
+// rule matches).
+func DeriveLabel(exePath string) string {
+	for _, r := range labelRules {
+		if r.re.MatchString(exePath) {
+			return r.label
+		}
+	}
+	return UnknownLabel
+}
+
+// LibrarySubstrings is the ordered substring list of the paper (§4.3
+// "Derived and filtered"): a library path's tag is the '-'-join of every
+// substring it contains, in this order. Order matters: it defines the tag
+// spelling ("rocfft-rocm-fft", "quadmath-cray", …).
+var LibrarySubstrings = []string{
+	"libsci", "pthread", "pmi", "netcdf", "hdf5", "fortran", "parallel",
+	"python", "fabric", "numa", "boost", "openacc", "amdgpu", "cuda", "drm",
+	"rocsolver", "rocsparse", "rocfft", "MIOpen", "rocm", "gromacs", "blas",
+	"fft", "torch", "quadmath", "craymath", "cray", "tykky", "climatedt",
+	"amber", "spack", "yaml", "java", "siren",
+}
+
+// DeriveLibraryTag maps a library path to its derived tag, or "" when no
+// substring matches (an uninformative library, filtered out).
+func DeriveLibraryTag(libPath string) string {
+	var parts []string
+	for _, sub := range LibrarySubstrings {
+		if strings.Contains(libPath, sub) {
+			parts = append(parts, sub)
+		}
+	}
+	return strings.Join(parts, "-")
+}
+
+// DeriveLibraryTags maps a loaded-objects list to its distinct tags in
+// first-seen order.
+func DeriveLibraryTags(objects []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, o := range objects {
+		tag := DeriveLibraryTag(o)
+		if tag == "" || seen[tag] {
+			continue
+		}
+		seen[tag] = true
+		out = append(out, tag)
+	}
+	return out
+}

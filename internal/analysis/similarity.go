@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"sort"
+
+	"siren/internal/postprocess"
+	"siren/internal/ssdeep"
+)
+
+// SimilarityRow is one Table 7 row: the six per-characteristic fuzzy-hash
+// scores of a known executable against the unknown baseline, plus their
+// average.
+type SimilarityRow struct {
+	Label      string
+	Exe        string
+	Avg        float64
+	ModulesS   int // MO_H
+	CompilersS int // CO_H
+	ObjectsS   int // OB_H
+	FileS      int // FI_H
+	StringsS   int // ST_H
+	SymbolsS   int // SY_H
+}
+
+// scoreOrZero compares two digests, returning 0 for empty or malformed
+// digests (missing information must not abort the search — SIREN hashes the
+// lists precisely so that partial data stays comparable).
+func scoreOrZero(a, b string, backend ssdeep.Backend) int {
+	if a == "" || b == "" {
+		return 0
+	}
+	s, err := ssdeep.CompareWith(a, b, backend)
+	if err != nil {
+		return 0
+	}
+	return s
+}
+
+// SimilaritySearch computes Table 7: it ranks every *known* (labelled) user
+// executable by average fuzzy-hash similarity to the baseline record across
+// the six characteristics (modules, compilers, objects, file, strings,
+// symbols). Executables are deduplicated by FILE_H so each distinct binary
+// appears once. topN <= 0 returns all rows with Avg > 0.
+func (d *Dataset) SimilaritySearch(baseline *postprocess.ProcessRecord, topN int, backend ssdeep.Backend) []SimilarityRow {
+	seen := make(map[string]bool)
+	var rows []SimilarityRow
+	for _, r := range d.Records {
+		if r.Category != "user" || r.FileH == "" || seen[r.FileH] {
+			continue
+		}
+		label := DeriveLabel(r.Exe)
+		if label == UnknownLabel {
+			continue // rank only known instances against the unknown
+		}
+		seen[r.FileH] = true
+		row := SimilarityRow{
+			Label:      label,
+			Exe:        r.Exe,
+			ModulesS:   scoreOrZero(baseline.ModulesH, r.ModulesH, backend),
+			CompilersS: scoreOrZero(baseline.CompilersH, r.CompilersH, backend),
+			ObjectsS:   scoreOrZero(baseline.ObjectsH, r.ObjectsH, backend),
+			FileS:      scoreOrZero(baseline.FileH, r.FileH, backend),
+			StringsS:   scoreOrZero(baseline.StringsH, r.StringsH, backend),
+			SymbolsS:   scoreOrZero(baseline.SymbolsH, r.SymbolsH, backend),
+		}
+		row.Avg = float64(row.ModulesS+row.CompilersS+row.ObjectsS+row.FileS+row.StringsS+row.SymbolsS) / 6
+		if row.Avg > 0 {
+			rows = append(rows, row)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Avg != rows[j].Avg {
+			return rows[i].Avg > rows[j].Avg
+		}
+		if rows[i].Label != rows[j].Label {
+			return rows[i].Label < rows[j].Label
+		}
+		return rows[i].Exe < rows[j].Exe
+	})
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	return rows
+}
+
+// FindUnknown returns the first user-category record whose derived label is
+// UNKNOWN and that carries a FILE_H — the Table 7 baseline.
+func (d *Dataset) FindUnknown() (*postprocess.ProcessRecord, bool) {
+	for _, r := range d.Records {
+		if r.Category == "user" && r.FileH != "" && DeriveLabel(r.Exe) == UnknownLabel {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// IdentifyByHash ranks known executables against an arbitrary single digest
+// (FILE_H only) — the simpler identification mode used by the quickstart
+// example and the exact-vs-fuzzy ablation.
+func (d *Dataset) IdentifyByHash(fileH string, topN int, backend ssdeep.Backend) []SimilarityRow {
+	seen := make(map[string]bool)
+	var rows []SimilarityRow
+	for _, r := range d.Records {
+		if r.Category != "user" || r.FileH == "" || seen[r.FileH] {
+			continue
+		}
+		seen[r.FileH] = true
+		s := scoreOrZero(fileH, r.FileH, backend)
+		if s == 0 {
+			continue
+		}
+		rows = append(rows, SimilarityRow{Label: DeriveLabel(r.Exe), Exe: r.Exe, FileS: s, Avg: float64(s)})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Avg != rows[j].Avg {
+			return rows[i].Avg > rows[j].Avg
+		}
+		return rows[i].Exe < rows[j].Exe
+	})
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	return rows
+}

@@ -1,0 +1,232 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"siren/internal/elfx"
+	"siren/internal/ldso"
+	"siren/internal/procfs"
+	"siren/internal/ssdeep"
+)
+
+func install(t *testing.T) *Catalog {
+	t.Helper()
+	fs := procfs.NewFS()
+	cache := ldso.NewCache()
+	cat, err := Install(fs, cache, 1733900000)
+	if err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	return cat
+}
+
+func TestInstallCounts(t *testing.T) {
+	cat := install(t)
+	if len(cat.SystemExes) != 30 {
+		t.Errorf("system exes = %d, want 30", len(cat.SystemExes))
+	}
+	if len(cat.Apps) != 10 { // 8 named + icon + UNKNOWN
+		t.Errorf("apps = %d, want 10", len(cat.Apps))
+	}
+	icon := cat.App("icon")
+	if icon == nil || len(icon.Variants) != IconVariantCount {
+		t.Fatalf("icon variants missing")
+	}
+	unk := cat.App(UnknownLabel)
+	if unk == nil || len(unk.Variants) != 7 {
+		t.Fatalf("UNKNOWN variants = %+v", unk)
+	}
+}
+
+func TestEveryBinaryIsValidELF(t *testing.T) {
+	cat := install(t)
+	check := func(path string) {
+		img, err := cat.FS.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if _, err := elfx.Parse(img); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+	}
+	for _, se := range cat.SystemExes {
+		check(se.Path)
+	}
+	for _, it := range cat.Interpreters {
+		check(it.Path)
+	}
+	for _, app := range cat.Apps {
+		for _, v := range app.Variants {
+			check(v.Path)
+		}
+	}
+}
+
+func TestAllNeededLibrariesResolvable(t *testing.T) {
+	cat := install(t)
+	for _, app := range cat.Apps {
+		for _, v := range app.Variants {
+			img, _ := cat.FS.ReadFile(v.Path)
+			res, err := ldso.Link(img, v.Path, app.Env(), cat.Cache, cat.FS, false)
+			if err != nil {
+				t.Fatalf("%s: %v", v.Path, err)
+			}
+			if len(res.Missing) > 0 {
+				t.Errorf("%s: unresolved libraries %q", v.Path, res.Missing)
+			}
+		}
+	}
+	for _, se := range cat.SystemExes {
+		img, _ := cat.FS.ReadFile(se.Path)
+		res, err := ldso.Link(img, se.Path, nil, cat.Cache, cat.FS, false)
+		if err != nil {
+			t.Fatalf("%s: %v", se.Path, err)
+		}
+		if len(res.Missing) > 0 {
+			t.Errorf("%s: unresolved libraries %q", se.Path, res.Missing)
+		}
+	}
+}
+
+func TestVariantsHaveDistinctBinaries(t *testing.T) {
+	cat := install(t)
+	for _, app := range cat.Apps {
+		seen := make(map[string]string)
+		for _, v := range app.Variants {
+			img, _ := cat.FS.ReadFile(v.Path)
+			h, err := ssdeep.Hash(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev, dup := seen[h]; dup {
+				t.Errorf("%s: %s and %s share FILE_H", app.Label, prev, v.Path)
+			}
+			seen[h] = v.Path
+		}
+	}
+}
+
+func TestUnknownResemblesIcon(t *testing.T) {
+	cat := install(t)
+	unkImg, err := cat.FS.ReadFile(UnknownPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unkHash, _ := ssdeep.Hash(unkImg)
+
+	icon := cat.App("icon")
+	best := 0
+	for _, v := range icon.Variants[:40] {
+		img, _ := cat.FS.ReadFile(v.Path)
+		h, _ := ssdeep.Hash(img)
+		s, err := ssdeep.Compare(unkHash, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > best {
+			best = s
+		}
+	}
+	if best < 60 {
+		t.Errorf("best icon similarity to UNKNOWN = %d, want >= 60", best)
+	}
+
+	// And it must NOT resemble an unrelated app.
+	gmx := cat.App("GROMACS").Variants[0]
+	img, _ := cat.FS.ReadFile(gmx.Path)
+	h, _ := ssdeep.Hash(img)
+	if s, _ := ssdeep.Compare(unkHash, h); s > 20 {
+		t.Errorf("UNKNOWN vs GROMACS similarity = %d, want <= 20", s)
+	}
+}
+
+func TestCompilerCombosMatchFigure4(t *testing.T) {
+	cat := install(t)
+	// Figure 4's usage matrix: label → set of compiler labels that must
+	// appear across the app's variants.
+	want := map[string][]string{
+		"LAMMPS":     {"GCC [SUSE]", "LLD [AMD]"},
+		"GROMACS":    {"LLD [AMD]"},
+		"miniconda":  {"GCC [Red Hat]", "GCC [conda]", "rustc"},
+		"janko":      {"GCC [SUSE]", "GCC [HPE]"},
+		"icon":       {"GCC [SUSE]", "clang [Cray]", "clang [AMD]"},
+		"amber":      {"GCC [SUSE]", "clang [AMD]"},
+		"gzip":       {"LLD [AMD]"},
+		"alexandria": {"GCC [SUSE]"},
+		"RadRad":     {"GCC [SUSE]", "clang [Cray]"},
+	}
+	for label, comps := range want {
+		app := cat.App(label)
+		if app == nil {
+			t.Fatalf("missing app %s", label)
+		}
+		got := make(map[string]bool)
+		for _, v := range app.Variants {
+			for _, c := range v.Compilers {
+				got[c.Label()] = true
+			}
+		}
+		for _, c := range comps {
+			if !got[c] {
+				t.Errorf("%s: compiler %s missing (have %v)", label, c, got)
+			}
+		}
+		if len(got) != len(comps) {
+			t.Errorf("%s: extra compilers: have %v, want %v", label, got, comps)
+		}
+	}
+}
+
+func TestCommentSectionsRoundTrip(t *testing.T) {
+	cat := install(t)
+	v := cat.App("janko").Variants[0]
+	img, _ := cat.FS.ReadFile(v.Path)
+	f, err := elfx.Parse(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comments := f.Comment()
+	if len(comments) != 2 {
+		t.Fatalf("comments = %q", comments)
+	}
+	if !strings.Contains(comments[0], "GCC: (SUSE Linux)") || !strings.Contains(comments[1], "GCC: (HPE)") {
+		t.Errorf("comments = %q", comments)
+	}
+}
+
+func TestUnknownPathIsNondescript(t *testing.T) {
+	lower := strings.ToLower(UnknownPath)
+	for _, name := range []string{"lammps", "gromacs", "conda", "janko", "icon", "amber", "gzip", "alexandria", "radrad", "lmp", "gmx"} {
+		if strings.Contains(lower, name) {
+			t.Errorf("UnknownPath %q leaks software name %q", UnknownPath, name)
+		}
+	}
+}
+
+func TestCatalogAccessors(t *testing.T) {
+	cat := install(t)
+	if p := cat.SystemExePath("bash"); p != "/usr/bin/bash" {
+		t.Errorf("bash path = %q", p)
+	}
+	if p := cat.SystemExePath("nonesuch"); p != "" {
+		t.Errorf("nonesuch path = %q", p)
+	}
+	it, ok := cat.Interpreter("3.10")
+	if !ok || it.Path != "/usr/bin/python3.10" {
+		t.Errorf("interpreter = %+v ok=%v", it, ok)
+	}
+	if _, ok := cat.Interpreter("2.7"); ok {
+		t.Error("python 2.7 should not exist")
+	}
+}
+
+func BenchmarkInstall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fs := procfs.NewFS()
+		cache := ldso.NewCache()
+		if _, err := Install(fs, cache, 1733900000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,444 @@
+package apps
+
+import (
+	"fmt"
+
+	"siren/internal/ldso"
+	"siren/internal/procfs"
+	"siren/internal/pyenv"
+	"siren/internal/toolchain"
+	"strings"
+
+	"siren/internal/xxhash"
+)
+
+// SystemExe is one utility installed in a system directory.
+type SystemExe struct {
+	Name   string
+	Path   string
+	Needed []string // DT_NEEDED sonames
+}
+
+// Variant is one concrete executable of an application: a distinct binary
+// (distinct FILE_H) built from the app's source family.
+type Variant struct {
+	Path      string
+	Compilers []toolchain.Compiler
+	Version   string
+	Mutations int
+}
+
+// App is one labelled application of Table 5.
+type App struct {
+	Label    string   // the regex-derived software label
+	Tags     []string // Figure 5 library tags this app links against
+	Variants []Variant
+	// SourceName is the toolchain source identity; variants of apps sharing
+	// a SourceName (icon and UNKNOWN) are fuzzy-similar across labels.
+	SourceName string
+	CodeKB     int
+	// LibraryPath holds the extra LD_LIBRARY_PATH directories (set by the
+	// app's environment modules) needed to resolve site-installed libraries
+	// under /appl; computed at Install time.
+	LibraryPath []string
+}
+
+// Env returns the module-provided environment for running this app:
+// LD_LIBRARY_PATH covering its site library directories (empty map if the
+// default linker path suffices).
+func (a *App) Env() map[string]string {
+	if len(a.LibraryPath) == 0 {
+		return map[string]string{}
+	}
+	path := a.LibraryPath[0]
+	for _, d := range a.LibraryPath[1:] {
+		path += ":" + d
+	}
+	return map[string]string{"LD_LIBRARY_PATH": path}
+}
+
+// Catalog is the installed software inventory of the simulated system.
+type Catalog struct {
+	FS           *procfs.FS
+	Cache        *ldso.Cache
+	SystemExes   []SystemExe
+	Apps         []App
+	Interpreters []pyenv.Interpreter
+}
+
+// System utilities; the real LUMI dataset saw 112 distinct system-directory
+// executables — we install a representative 30, including everything
+// Table 3 names.
+var systemExeDefs = []SystemExe{
+	{Name: "bash", Path: "/usr/bin/bash", Needed: []string{"libtinfo.so.6", "libc.so.6"}},
+	{Name: "srun", Path: "/usr/bin/srun", Needed: []string{"libslurmfull.so", "libpmi.so.0", "libmunge.so.2", "libc.so.6"}},
+	{Name: "lua5.3", Path: "/usr/bin/lua5.3", Needed: []string{"liblua5.3.so.5", "libreadline.so.8", "libc.so.6"}},
+	{Name: "rm", Path: "/usr/bin/rm", Needed: []string{"libselinux.so.1", "libc.so.6"}},
+	{Name: "cat", Path: "/usr/bin/cat", Needed: []string{"libc.so.6"}},
+	{Name: "uname", Path: "/usr/bin/uname", Needed: []string{"libc.so.6"}},
+	{Name: "ls", Path: "/usr/bin/ls", Needed: []string{"libselinux.so.1", "libc.so.6"}},
+	{Name: "mkdir", Path: "/usr/bin/mkdir", Needed: []string{"libselinux.so.1", "libc.so.6"}},
+	{Name: "grep", Path: "/usr/bin/grep", Needed: []string{"libc.so.6"}},
+	{Name: "cp", Path: "/usr/bin/cp", Needed: []string{"libselinux.so.1", "libc.so.6"}},
+	{Name: "sed", Path: "/usr/bin/sed", Needed: []string{"libc.so.6"}},
+	{Name: "awk", Path: "/usr/bin/awk", Needed: []string{"libm.so.6", "libc.so.6"}},
+	{Name: "tar", Path: "/usr/bin/tar", Needed: []string{"libselinux.so.1", "libc.so.6"}},
+	{Name: "gzip", Path: "/usr/bin/gzip", Needed: []string{"libc.so.6"}},
+	{Name: "date", Path: "/usr/bin/date", Needed: []string{"libc.so.6"}},
+	{Name: "hostname", Path: "/usr/bin/hostname", Needed: []string{"libc.so.6"}},
+	{Name: "env", Path: "/usr/bin/env", Needed: []string{"libc.so.6"}},
+	{Name: "chmod", Path: "/usr/bin/chmod", Needed: []string{"libc.so.6"}},
+	{Name: "tail", Path: "/usr/bin/tail", Needed: []string{"libc.so.6"}},
+	{Name: "head", Path: "/usr/bin/head", Needed: []string{"libc.so.6"}},
+	{Name: "wc", Path: "/usr/bin/wc", Needed: []string{"libc.so.6"}},
+	{Name: "sleep", Path: "/usr/bin/sleep", Needed: []string{"libc.so.6"}},
+	{Name: "find", Path: "/usr/bin/find", Needed: []string{"libselinux.so.1", "libc.so.6"}},
+	{Name: "touch", Path: "/usr/bin/touch", Needed: []string{"libc.so.6"}},
+	{Name: "echo", Path: "/usr/bin/echo", Needed: []string{"libc.so.6"}},
+	{Name: "tee", Path: "/usr/bin/tee", Needed: []string{"libc.so.6"}},
+	{Name: "sort", Path: "/usr/bin/sort", Needed: []string{"libc.so.6"}},
+	{Name: "cut", Path: "/usr/bin/cut", Needed: []string{"libc.so.6"}},
+	{Name: "xargs", Path: "/usr/bin/xargs", Needed: []string{"libc.so.6"}},
+	{Name: "bc", Path: "/usr/bin/bc", Needed: []string{"libm.so.6", "libc.so.6"}},
+}
+
+var interpreterDefs = []pyenv.Interpreter{
+	{Version: "3.6", Path: "/usr/bin/python3.6", LibDir: "/usr/lib64/python3.6"},
+	{Version: "3.10", Path: "/usr/bin/python3.10", LibDir: "/usr/lib64/python3.10"},
+	{Version: "3.11", Path: "/usr/bin/python3.11", LibDir: "/usr/lib64/python3.11"},
+}
+
+// UnknownLabel is the label the analysis layer assigns to unmatched paths.
+const UnknownLabel = "UNKNOWN"
+
+// UnknownPath is the nondescript executable of Tables 5 and 7 — an icon
+// build living under a name and path that match no software regex.
+const UnknownPath = "/scratch/project_465000831/run/a.out"
+
+// appDefs declares Table 5's applications: their Figure 5 link tags and
+// their variant structure (count, compiler combinations, version spread),
+// which drives Table 6 and Figure 4.
+func appDefs() []App {
+	apps := []App{
+		{
+			Label:      "LAMMPS",
+			SourceName: "lammps",
+			CodeKB:     48,
+			Tags: []string{"pthread", "cray", "quadmath-cray", "fabric-cray", "pmi-cray",
+				"rocm", "numa", "drm", "amdgpu-drm", "libsci-cray", "rocm-blas",
+				"rocsolver-rocm", "rocsparse-rocm", "fft-cray", "rocm-fft",
+				"rocfft-rocm-fft", "MIOpen-rocm", "rocm-torch", "numa-rocm-torch",
+				"torch-tykky", "numa-torch-tykky"},
+			Variants: []Variant{
+				{Path: "/users/user_2/lammps/build1/lmp", Compilers: []toolchain.Compiler{toolchain.GCCSUSE}, Version: "2Aug2023"},
+				{Path: "/users/user_2/lammps/build2/lmp", Compilers: []toolchain.Compiler{toolchain.GCCSUSE}, Version: "2Aug2023", Mutations: 40},
+				{Path: "/projappl/project_465000012/lammps/bin/lmp", Compilers: []toolchain.Compiler{toolchain.GCCSUSE}, Version: "29Aug2024"},
+				{Path: "/users/user_2/lammps-gpu/lmp_hip", Compilers: []toolchain.Compiler{toolchain.LLDAMD}, Version: "2Aug2023"},
+				{Path: "/users/user_7/lammps/lmp", Compilers: []toolchain.Compiler{toolchain.LLDAMD}, Version: "29Aug2024"},
+			},
+		},
+		{
+			Label:      "GROMACS",
+			SourceName: "gromacs",
+			CodeKB:     48,
+			Tags: []string{"pthread", "cray", "quadmath-cray", "fabric-cray", "pmi-cray",
+				"rocm", "numa", "drm", "amdgpu-drm", "fortran", "gromacs", "boost"},
+			Variants: []Variant{
+				{Path: "/appl/soft/chem/gromacs/bin/gmx_mpi", Compilers: []toolchain.Compiler{toolchain.LLDAMD}, Version: "2024.1"},
+			},
+		},
+		{
+			Label:      "miniconda",
+			SourceName: "miniconda",
+			CodeKB:     32,
+			Tags:       []string{"pthread"},
+			Variants: []Variant{
+				{Path: "/users/user_2/miniconda3/bin/conda", Compilers: []toolchain.Compiler{toolchain.GCCRedHat, toolchain.GCCConda}, Version: "24.1"},
+				{Path: "/users/user_2/miniconda3/bin/python3.12", Compilers: []toolchain.Compiler{toolchain.GCCRedHat, toolchain.GCCConda}, Version: "24.1", Mutations: 30},
+				{Path: "/users/user_2/miniconda3/bin/pip3.12", Compilers: []toolchain.Compiler{toolchain.GCCRedHat, toolchain.GCCConda}, Version: "24.1", Mutations: 60},
+				{Path: "/users/user_2/miniconda3/bin/conda-env", Compilers: []toolchain.Compiler{toolchain.GCCRedHat, toolchain.GCCConda}, Version: "24.2"},
+				{Path: "/users/user_2/miniconda3/bin/mamba", Compilers: []toolchain.Compiler{toolchain.GCCRedHat, toolchain.Rustc}, Version: "1.5"},
+			},
+		},
+		{
+			Label:      "janko",
+			SourceName: "janko",
+			CodeKB:     32,
+			Tags: []string{"pthread", "cray", "quadmath-cray", "fabric-cray", "pmi-cray",
+				"fortran", "libsci-cray", "numa-spack", "spack", "blas-spack",
+				"rocsolver-spack", "rocsparse-spack", "drm-spack", "amdgpu-drm-spack"},
+			Variants: []Variant{
+				{Path: "/users/user_11/janko/bin/janko", Compilers: []toolchain.Compiler{toolchain.GCCSUSE, toolchain.GCCHPE}, Version: "0.9"},
+				{Path: "/users/user_11/janko/bin/janko-pre", Compilers: []toolchain.Compiler{toolchain.GCCSUSE, toolchain.GCCHPE}, Version: "0.9", Mutations: 80},
+			},
+		},
+		{
+			Label:      "amber",
+			SourceName: "amber",
+			CodeKB:     48,
+			Tags: []string{"pthread", "cray", "quadmath-cray", "fabric-cray", "pmi-cray",
+				"rocm", "numa", "drm", "amdgpu-drm", "fortran", "libsci-cray",
+				"rocm-blas", "rocsolver-rocm", "rocsparse-rocm", "fft-cray", "rocm-fft",
+				"rocfft-rocm-fft", "netcdf-cray", "cuda-amber", "amber",
+				"netcdf-parallel-cray", "hdf5-parallel-cray", "hdf5-fortran-parallel-cray"},
+			Variants: []Variant{
+				{Path: "/appl/amber22/bin/pmemd.hip", Compilers: []toolchain.Compiler{toolchain.GCCSUSE, toolchain.ClangAMD}, Version: "22"},
+				{Path: "/appl/amber22/bin/sander", Compilers: []toolchain.Compiler{toolchain.GCCSUSE, toolchain.ClangAMD}, Version: "22", Mutations: 50},
+			},
+		},
+		{
+			Label:      "gzip",
+			SourceName: "gzip-user",
+			CodeKB:     16,
+			Tags:       nil, // links only libc: Figure 5's siren-only row
+			Variants: []Variant{
+				{Path: "/users/user_2/tools/gzip", Compilers: []toolchain.Compiler{toolchain.LLDAMD}, Version: "1.13"},
+			},
+		},
+		{
+			Label:      "alexandria",
+			SourceName: "alexandria",
+			CodeKB:     24,
+			Tags: []string{"pthread", "cray", "quadmath-cray", "fabric-cray", "pmi-cray",
+				"fortran", "craymath-cray"},
+			Variants: []Variant{
+				{Path: "/users/user_9/alexandria/bin/alexandria", Compilers: []toolchain.Compiler{toolchain.GCCSUSE}, Version: "1.0"},
+			},
+		},
+		{
+			Label:      "RadRad",
+			SourceName: "radrad",
+			CodeKB:     24,
+			Tags: []string{"pthread", "cray", "quadmath-cray", "rocm", "numa", "drm",
+				"amdgpu-drm", "fortran", "libsci-cray", "rocm-blas", "rocsolver-rocm",
+				"rocsparse-rocm", "craymath-cray", "amdgpu-cray", "openacc-cray"},
+			Variants: []Variant{
+				{Path: "/users/user_6/RadRad/bin/RadRad", Compilers: []toolchain.Compiler{toolchain.GCCSUSE, toolchain.ClangCray}, Version: "3.1"},
+				{Path: "/users/user_6/RadRad/bin/RadRad-post", Compilers: []toolchain.Compiler{toolchain.GCCSUSE, toolchain.ClangCray}, Version: "3.1", Mutations: 60},
+			},
+		},
+	}
+	apps = append(apps, iconApp(), unknownApp())
+	return apps
+}
+
+// iconTags is shared by icon and its UNKNOWN doppelgänger (same build
+// system, same link set).
+var iconTags = []string{"pthread", "cray", "quadmath-cray", "fabric-cray", "pmi-cray",
+	"rocm", "numa", "drm", "amdgpu-drm", "fortran", "libsci-cray", "craymath-cray",
+	"netcdf-cray", "amdgpu-cray", "openacc-cray", "climatedt", "climatedt-yaml",
+	"hdf5-cray"}
+
+// IconVariantCount mirrors the paper: 175 distinct icon executables from one
+// user's many rebuild jobs (Table 5's unique-FILE_H outlier), split across
+// three compiler combinations (Table 6 rows 2, 3 and 8).
+const IconVariantCount = 175
+
+func iconApp() App {
+	app := App{Label: "icon", SourceName: "icon", CodeKB: 32, Tags: iconTags}
+	for i := 0; i < IconVariantCount; i++ {
+		var comps []toolchain.Compiler
+		switch {
+		case i < 130:
+			comps = []toolchain.Compiler{toolchain.GCCSUSE}
+		case i < 162:
+			comps = []toolchain.Compiler{toolchain.GCCSUSE, toolchain.ClangCray}
+		default:
+			comps = []toolchain.Compiler{toolchain.GCCSUSE, toolchain.ClangCray, toolchain.ClangAMD}
+		}
+		app.Variants = append(app.Variants, Variant{
+			Path:      fmt.Sprintf("/scratch/project_465000100/icon/build_%03d/bin/icon", i),
+			Compilers: comps,
+			Version:   fmt.Sprintf("2.6.%d", i/20),
+			Mutations: (i % 20) * 25,
+		})
+	}
+	return app
+}
+
+// unknownApp is the Table 7 subject: icon builds under a nondescript name.
+// Same source family and link tags as icon, so similarity search must
+// identify it; its own label derives to UNKNOWN.
+func unknownApp() App {
+	app := App{Label: UnknownLabel, SourceName: "icon", CodeKB: 32, Tags: iconTags}
+	for i := 0; i < 7; i++ {
+		path := UnknownPath
+		if i > 0 {
+			path = fmt.Sprintf("/scratch/project_465000831/run%d/a.out", i)
+		}
+		app.Variants = append(app.Variants, Variant{
+			Path:      path,
+			Compilers: []toolchain.Compiler{toolchain.GCCSUSE},
+			Version:   fmt.Sprintf("2.6.%d", i/3),
+			Mutations: (i % 3) * 25,
+		})
+	}
+	return app
+}
+
+// iconFunctions is the global-symbol surface of the icon source family.
+var sourceFunctions = map[string][]string{
+	"icon":       {"icon_init", "icon_run_timestep", "icon_radiation", "icon_dynamics", "icon_output_nc", "icon_finalize"},
+	"lammps":     {"lmp_init", "lmp_run", "lmp_pair_compute", "lmp_neighbor_build", "lmp_dump"},
+	"gromacs":    {"gmx_mdrun", "gmx_grompp", "gmx_pme_spread", "gmx_nb_kernel"},
+	"miniconda":  {"conda_main", "conda_solve", "conda_fetch"},
+	"janko":      {"janko_assemble", "janko_solve", "janko_write"},
+	"amber":      {"pmemd_main", "pmemd_force", "pmemd_pme", "pmemd_shake"},
+	"gzip-user":  {"deflate", "inflate", "zip_main"},
+	"alexandria": {"alex_train", "alex_score"},
+	"radrad":     {"radrad_transport", "radrad_emit"},
+}
+
+// Install builds the whole catalogue into fs and cache. All binaries are
+// compiled deterministically; file timestamps derive from baseTime.
+func Install(fs *procfs.FS, cache *ldso.Cache, baseTime int64) (*Catalog, error) {
+	cat := &Catalog{FS: fs, Cache: cache, Interpreters: interpreterDefs}
+
+	// Shared libraries: register with the linker cache and install file
+	// content (small stand-in images; the campaign never parses libraries).
+	for _, lib := range libraryDefs {
+		cache.Register(lib)
+		content := []byte("\x7fELF-shared-object\x00" + lib.Path)
+		fs.Install(lib.Path, content, procfs.FileMeta{
+			UID: 0, GID: 0, Mtime: baseTime - 86400*200, Atime: baseTime, Ctime: baseTime - 86400*200,
+		})
+	}
+
+	// System executables: root-owned, built with the distro compiler.
+	for _, se := range systemExeDefs {
+		src := toolchain.Source{
+			Name:      se.Name,
+			Version:   "system",
+			Functions: []string{"main", se.Name + "_run"},
+			Strings:   []string{se.Name + " (GNU coreutils-like) 9.1", "usage: " + se.Name},
+			CodeKB:    8,
+		}
+		art, err := toolchain.Compile(src, toolchain.BuildOptions{
+			Compilers: []toolchain.Compiler{toolchain.GCCSUSE},
+			Libraries: se.Needed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("apps: building %s: %w", se.Name, err)
+		}
+		fs.Install(se.Path, art.Binary, procfs.FileMeta{
+			UID: 0, GID: 0, Mtime: baseTime - 86400*365, Atime: baseTime, Ctime: baseTime - 86400*365,
+		})
+		cat.SystemExes = append(cat.SystemExes, se)
+	}
+
+	// Python interpreters (system directory).
+	for _, it := range interpreterDefs {
+		src := toolchain.Source{
+			Name:      "python" + it.Version,
+			Version:   it.Version,
+			Functions: []string{"Py_Main", "Py_Initialize", "PyEval_EvalCode"},
+			Strings:   []string{"Python " + it.Version, "PYTHONPATH"},
+			CodeKB:    16,
+		}
+		art, err := toolchain.Compile(src, toolchain.BuildOptions{
+			Compilers: []toolchain.Compiler{toolchain.GCCSUSE},
+			Libraries: []string{"libm.so.6", "libc.so.6"},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("apps: building %s: %w", it.Path, err)
+		}
+		fs.Install(it.Path, art.Binary, procfs.FileMeta{
+			UID: 0, GID: 0, Mtime: baseTime - 86400*365, Atime: baseTime, Ctime: baseTime - 86400*365,
+		})
+	}
+
+	// Scientific applications.
+	for _, app := range appDefs() {
+		needed := sonamesForTags(app.Tags...)
+		app.LibraryPath = extraLibraryDirs(cache, needed)
+		funcs := sourceFunctions[app.SourceName]
+		for vi, v := range app.Variants {
+			uid := userIDFromPath(v.Path)
+			src := toolchain.Source{
+				Name:      app.SourceName,
+				Version:   v.Version,
+				Functions: funcs,
+				Strings: []string{
+					app.SourceName + " scientific application",
+					"build " + v.Version,
+				},
+				CodeKB: app.CodeKB,
+			}
+			art, err := toolchain.Compile(src, toolchain.BuildOptions{
+				Compilers: v.Compilers,
+				Mutations: v.Mutations,
+				Libraries: needed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("apps: building %s variant %d: %w", app.Label, vi, err)
+			}
+			fs.Install(v.Path, art.Binary, procfs.FileMeta{
+				UID: uid, GID: uid, Mtime: baseTime - 86400*int64(vi%30), Atime: baseTime,
+				Ctime: baseTime - 86400*int64(vi%30),
+			})
+		}
+		cat.Apps = append(cat.Apps, app)
+	}
+
+	return cat, nil
+}
+
+// App returns the catalogue entry with the given label, or nil.
+func (c *Catalog) App(label string) *App {
+	for i := range c.Apps {
+		if c.Apps[i].Label == label {
+			return &c.Apps[i]
+		}
+	}
+	return nil
+}
+
+// SystemExePath returns the path of the named system utility ("" if absent).
+func (c *Catalog) SystemExePath(name string) string {
+	for _, se := range c.SystemExes {
+		if se.Name == name {
+			return se.Path
+		}
+	}
+	return ""
+}
+
+// Interpreter returns the Python interpreter with the given version.
+func (c *Catalog) Interpreter(version string) (pyenv.Interpreter, bool) {
+	for _, it := range c.Interpreters {
+		if it.Version == version {
+			return it, true
+		}
+	}
+	return pyenv.Interpreter{}, false
+}
+
+// userIDFromPath derives a stable synthetic UID for user-owned paths.
+func userIDFromPath(path string) uint32 {
+	return 1000 + uint32(xxhash.Sum64String(path)%100)
+}
+
+// extraLibraryDirs finds the directories (beyond the default linker search
+// path) an app's environment modules must add to LD_LIBRARY_PATH so that all
+// its sonames resolve. Order is stable (link-set order, deduplicated).
+func extraLibraryDirs(cache *ldso.Cache, needed []string) []string {
+	var dirs []string
+	seen := make(map[string]bool)
+	for _, so := range needed {
+		if _, ok := cache.Resolve(so, nil); ok {
+			continue // default path covers it
+		}
+		for _, lib := range libraryDefs {
+			if lib.Soname != so {
+				continue
+			}
+			dir := lib.Path[:strings.LastIndexByte(lib.Path, '/')]
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+			break
+		}
+	}
+	return dirs
+}

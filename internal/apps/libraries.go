@@ -1,0 +1,149 @@
+// Package apps is the software catalogue of the simulated LUMI-like system:
+// shared libraries (with paths chosen so the paper's derived-substring tags
+// come out exactly as in Figures 2 and 5), system-directory utilities,
+// the nine labelled scientific applications of Table 5 with their variant
+// counts and compiler combinations (Table 6, Figure 4), the nondescript
+// UNKNOWN executable of Table 7, and the Python interpreters of Table 8.
+package apps
+
+import "siren/internal/ldso"
+
+// SirenSOPath is where the data-collection shared object is installed; the
+// SIREN module exports LD_PRELOAD pointing here.
+const SirenSOPath = "/opt/siren/lib/siren.so"
+
+// Library paths double as tag generators: the analysis layer derives a tag
+// from each path by matching an ordered substring list (see
+// analysis.DeriveLibraryTag), so e.g. /opt/rocm/lib/librocfft.so.0 yields
+// "rocfft-rocm-fft". The comment on each entry records the intended tag.
+var libraryDefs = []ldso.Library{
+	// Plain system libraries (no tag).
+	{Soname: "ld-linux-x86-64.so.2", Path: "/lib64/ld-linux-x86-64.so.2"},
+	{Soname: "libc.so.6", Path: "/lib64/libc.so.6"},
+	{Soname: "libm.so.6", Path: "/lib64/libm.so.6"},
+	{Soname: "libz.so.1", Path: "/lib64/libz.so.1"},
+	{Soname: "libtinfo.so.6", Path: "/lib64/libtinfo.so.6"},
+	{Soname: "libreadline.so.8", Path: "/lib64/libreadline.so.8", Needed: []string{"libtinfo.so.6"}},
+	{Soname: "liblua5.3.so.5", Path: "/usr/lib64/liblua5.3.so.5"},
+	{Soname: "libselinux.so.1", Path: "/lib64/libselinux.so.1"},
+	{Soname: "libslurmfull.so", Path: "/usr/lib64/slurm/libslurmfull.so"},
+	{Soname: "libmunge.so.2", Path: "/usr/lib64/libmunge.so.2"},
+
+	// Environment-dependent variants (Table 4): same soname, site paths.
+	{Soname: "libtinfo.so.6", Path: "/appl/spack/env/lib/libtinfo.so.6"},
+	{Soname: "libtinfo.so.6", Path: "/pfs/SW/env/lib/libtinfo.so.6", Needed: []string{"libm.so.6"}},
+	{Soname: "libpmi.so.0", Path: "/opt/cray/pe/pmi/lib/libpmi.so.0"},     // tag: pmi-cray
+	{Soname: "libpmi.so.0", Path: "/opt/cray/pe/pmi-exp/lib/libpmi.so.0"}, // tag: pmi-cray (experimental build)
+	{Soname: "libreadline.so.8", Path: "/appl/spack/env/lib/libreadline.so.8"},
+
+	// The SIREN collector itself (tag: siren).
+	{Soname: "siren.so", Path: SirenSOPath, Needed: []string{"libc.so.6"}},
+
+	// Tagged libraries, one per Figure 2/5 column.
+	{Soname: "libpthread.so.0", Path: "/lib64/libpthread.so.0"},                                                         // pthread
+	{Soname: "libcrayutils.so.1", Path: "/opt/cray/pe/lib64/libcrayutils.so.1"},                                         // cray
+	{Soname: "libquadmath.so.0", Path: "/opt/cray/pe/gcc-libs/libquadmath.so.0"},                                        // quadmath-cray
+	{Soname: "libfabric.so.1", Path: "/opt/cray/libfabric/lib64/libfabric.so.1"},                                        // fabric-cray
+	{Soname: "libhsa-runtime64.so.1", Path: "/opt/rocm/lib/libhsa-runtime64.so.1"},                                      // rocm
+	{Soname: "libnuma.so.1", Path: "/usr/lib64/libnuma.so.1"},                                                           // numa
+	{Soname: "libdrm.so.2", Path: "/usr/lib64/libdrm.so.2"},                                                             // drm
+	{Soname: "libdrm_amdgpu.so.1", Path: "/usr/lib64/libdrm_amdgpu.so.1", Needed: []string{"libdrm.so.2"}},              // amdgpu-drm
+	{Soname: "libgfortran.so.5", Path: "/usr/lib64/libgfortran.so.5"},                                                   // fortran
+	{Soname: "libsci_cray.so.6", Path: "/opt/cray/pe/libsci/lib/libsci_cray.so.6"},                                      // libsci-cray
+	{Soname: "librocblas.so.4", Path: "/opt/rocm/lib/librocblas.so.4"},                                                  // rocm-blas
+	{Soname: "librocsolver.so.0", Path: "/opt/rocm/lib/librocsolver.so.0"},                                              // rocsolver-rocm
+	{Soname: "librocsparse.so.1", Path: "/opt/rocm/lib/librocsparse.so.1"},                                              // rocsparse-rocm
+	{Soname: "libfftw3.so.3", Path: "/opt/cray/pe/fftw/lib/libfftw3.so.3"},                                              // fft-cray
+	{Soname: "libhipfft.so.0", Path: "/opt/rocm/lib/libhipfft.so.0"},                                                    // rocm-fft
+	{Soname: "librocfft.so.0", Path: "/opt/rocm/lib/librocfft.so.0"},                                                    // rocfft-rocm-fft
+	{Soname: "libcraymath.so.1", Path: "/opt/cray/pe/lib64/libcraymath.so.1"},                                           // craymath-cray
+	{Soname: "libMIOpen.so.1", Path: "/opt/rocm/lib/libMIOpen.so.1"},                                                    // MIOpen-rocm
+	{Soname: "libgromacs_mpi.so.8", Path: "/appl/soft/chem/gromacs/lib/libgromacs_mpi.so.8"},                            // gromacs
+	{Soname: "libboost_program_options.so.1.82", Path: "/usr/lib64/libboost_program_options.so.1.82"},                   // boost
+	{Soname: "libnetcdf.so.19", Path: "/opt/cray/pe/netcdf/lib/libnetcdf.so.19"},                                        // netcdf-cray
+	{Soname: "libamdgpu_offload.so.1", Path: "/opt/cray/pe/cce/lib/libamdgpu_offload.so.1"},                             // amdgpu-cray
+	{Soname: "libopenacc.so.1", Path: "/opt/cray/pe/cce/lib/libopenacc.so.1"},                                           // openacc-cray
+	{Soname: "libtorch_hip.so.2", Path: "/opt/rocm/lib/libtorch_hip.so.2"},                                              // rocm-torch
+	{Soname: "libtorch_hip_numa.so.2", Path: "/opt/rocm/lib/libtorch_hip_numa.so.2"},                                    // numa-rocm-torch
+	{Soname: "libnuma_spack.so.1", Path: "/appl/spack/opt/lib/libnuma.so.1"},                                            // numa-spack
+	{Soname: "libssl_site.so.3", Path: "/appl/spack/opt/lib/libssl.so.3"},                                               // spack
+	{Soname: "libopenblas.so.0", Path: "/appl/spack/opt/lib/libopenblas.so.0"},                                          // blas-spack
+	{Soname: "librocsolver_spack.so.0", Path: "/appl/spack/opt/lib/librocsolver.so.0"},                                  // rocsolver-spack
+	{Soname: "librocsparse_spack.so.1", Path: "/appl/spack/opt/lib/librocsparse.so.1"},                                  // rocsparse-spack
+	{Soname: "libdrm_spack.so.2", Path: "/appl/spack/opt/lib/libdrm.so.2"},                                              // drm-spack
+	{Soname: "libdrm_amdgpu_spack.so.1", Path: "/appl/spack/opt/lib/libdrm_amdgpu.so.1"},                                // amdgpu-drm-spack
+	{Soname: "libclimatedt_core.so.1", Path: "/appl/climatedt/lib/libclimatedt_core.so.1"},                              // climatedt
+	{Soname: "libclimatedt_yaml.so.1", Path: "/appl/climatedt/lib/libclimatedt_yaml.so.1"},                              // climatedt-yaml
+	{Soname: "libhdf5.so.200", Path: "/opt/cray/pe/hdf5/lib/libhdf5.so.200"},                                            // hdf5-cray
+	{Soname: "libcudart.so.11", Path: "/appl/amber22/lib/libcudart.so.11"},                                              // cuda-amber
+	{Soname: "libamber_core.so.22", Path: "/appl/amber22/lib/libamber_core.so.22"},                                      // amber
+	{Soname: "libpnetcdf.so.4", Path: "/opt/cray/pe/parallel-netcdf/lib/libpnetcdf.so.4"},                               // netcdf-parallel-cray
+	{Soname: "libhdf5_parallel.so.200", Path: "/opt/cray/pe/hdf5-parallel/lib/libhdf5_parallel.so.200"},                 // hdf5-parallel-cray
+	{Soname: "libhdf5_fortran_parallel.so.200", Path: "/opt/cray/pe/hdf5-parallel/lib/libhdf5_fortran_parallel.so.200"}, // hdf5-fortran-parallel-cray
+	{Soname: "libtorch.so.2", Path: "/appl/tykky/torch-env/lib/libtorch.so.2"},                                          // torch-tykky
+	{Soname: "libtorch_numa.so.2", Path: "/appl/tykky/torch-env/lib/libtorch_numa.so.2"},                                // numa-torch-tykky
+}
+
+// Tagged soname groups used when declaring application link sets. Keys are
+// the Figure 2/5 tag names; values the soname that carries the tag.
+var tagSoname = map[string]string{
+	"pthread":                    "libpthread.so.0",
+	"cray":                       "libcrayutils.so.1",
+	"quadmath-cray":              "libquadmath.so.0",
+	"fabric-cray":                "libfabric.so.1",
+	"pmi-cray":                   "libpmi.so.0",
+	"rocm":                       "libhsa-runtime64.so.1",
+	"numa":                       "libnuma.so.1",
+	"drm":                        "libdrm.so.2",
+	"amdgpu-drm":                 "libdrm_amdgpu.so.1",
+	"fortran":                    "libgfortran.so.5",
+	"libsci-cray":                "libsci_cray.so.6",
+	"rocm-blas":                  "librocblas.so.4",
+	"rocsolver-rocm":             "librocsolver.so.0",
+	"rocsparse-rocm":             "librocsparse.so.1",
+	"fft-cray":                   "libfftw3.so.3",
+	"rocm-fft":                   "libhipfft.so.0",
+	"rocfft-rocm-fft":            "librocfft.so.0",
+	"craymath-cray":              "libcraymath.so.1",
+	"MIOpen-rocm":                "libMIOpen.so.1",
+	"gromacs":                    "libgromacs_mpi.so.8",
+	"boost":                      "libboost_program_options.so.1.82",
+	"netcdf-cray":                "libnetcdf.so.19",
+	"amdgpu-cray":                "libamdgpu_offload.so.1",
+	"openacc-cray":               "libopenacc.so.1",
+	"rocm-torch":                 "libtorch_hip.so.2",
+	"numa-rocm-torch":            "libtorch_hip_numa.so.2",
+	"numa-spack":                 "libnuma_spack.so.1",
+	"spack":                      "libssl_site.so.3",
+	"blas-spack":                 "libopenblas.so.0",
+	"rocsolver-spack":            "librocsolver_spack.so.0",
+	"rocsparse-spack":            "librocsparse_spack.so.1",
+	"drm-spack":                  "libdrm_spack.so.2",
+	"amdgpu-drm-spack":           "libdrm_amdgpu_spack.so.1",
+	"climatedt":                  "libclimatedt_core.so.1",
+	"climatedt-yaml":             "libclimatedt_yaml.so.1",
+	"hdf5-cray":                  "libhdf5.so.200",
+	"cuda-amber":                 "libcudart.so.11",
+	"amber":                      "libamber_core.so.22",
+	"netcdf-parallel-cray":       "libpnetcdf.so.4",
+	"hdf5-parallel-cray":         "libhdf5_parallel.so.200",
+	"hdf5-fortran-parallel-cray": "libhdf5_fortran_parallel.so.200",
+	"torch-tykky":                "libtorch.so.2",
+	"numa-torch-tykky":           "libtorch_numa.so.2",
+}
+
+// sonamesForTags resolves tag names into the link set (sonames). Unknown
+// tags panic: they indicate an inconsistency between the catalogue and the
+// paper matrices, which must fail fast at catalogue construction.
+func sonamesForTags(tags ...string) []string {
+	out := make([]string, 0, len(tags)+1)
+	for _, tag := range tags {
+		so, ok := tagSoname[tag]
+		if !ok {
+			panic("apps: no library registered for tag " + tag)
+		}
+		out = append(out, so)
+	}
+	out = append(out, "libc.so.6")
+	return out
+}

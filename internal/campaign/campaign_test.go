@@ -1,0 +1,423 @@
+package campaign
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"siren/internal/analysis"
+	"siren/internal/postprocess"
+	"siren/internal/receiver"
+	"siren/internal/sirendb"
+	"siren/internal/ssdeep"
+	"siren/internal/wire"
+)
+
+// fixture runs one campaign at test scale and shares the consolidated
+// dataset across all tests in the package.
+type fixture struct {
+	res     *Result
+	db      *sirendb.DB
+	records []*postprocess.ProcessRecord
+	stats   postprocess.Stats
+	data    *analysis.Dataset
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+	fixErr  error
+)
+
+func campaignFixture(t *testing.T) *fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		db, _ := sirendb.Open("")
+		tr := wire.NewChanTransport(1 << 18)
+		rcv := receiver.New(db, receiver.Options{})
+		rcv.AttachChannel(tr.C())
+		res, err := Run(Config{Scale: 0.02, Seed: 1, Transport: tr})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		tr.Close()
+		rcv.Close()
+		records, stats := postprocess.Consolidate(db)
+		fix = &fixture{res: res, db: db, records: records, stats: stats, data: analysis.NewDataset(records)}
+	})
+	if fixErr != nil {
+		t.Fatalf("campaign: %v", fixErr)
+	}
+	return fix
+}
+
+func TestCampaignRuns(t *testing.T) {
+	f := campaignFixture(t)
+	if f.res.JobsRun < 250 {
+		t.Errorf("jobs run = %d, want a few hundred at scale 0.02", f.res.JobsRun)
+	}
+	if f.res.ProcessesRun < 10000 {
+		t.Errorf("processes run = %d", f.res.ProcessesRun)
+	}
+	if f.db.Count() == 0 {
+		t.Fatal("no messages stored")
+	}
+	if f.res.Collector.Stats().Failures.Load() != 0 {
+		t.Errorf("collector failures = %d", f.res.Collector.Stats().Failures.Load())
+	}
+	t.Logf("jobs=%d procs=%d messages=%d records=%d",
+		f.res.JobsRun, f.res.ProcessesRun, f.db.Count(), len(f.records))
+}
+
+func TestTable2Shape(t *testing.T) {
+	f := campaignFixture(t)
+	stats := f.data.UserStats()
+	if len(stats) != 12 {
+		t.Fatalf("got %d users, want 12", len(stats))
+	}
+	// user_1 dominates jobs and runs only system executables.
+	if stats[0].User != "user_1" {
+		t.Errorf("top user by jobs = %s, want user_1", stats[0].User)
+	}
+	if stats[0].UserProcs != 0 || stats[0].PythonProcs != 0 {
+		t.Errorf("user_1 should be system-only: %+v", stats[0])
+	}
+	byUser := make(map[string]analysis.UserStat)
+	for _, s := range stats {
+		byUser[s.User] = s
+	}
+	// user_6 runs no system executables at all.
+	if u6 := byUser["user_6"]; u6.SystemProcs != 0 || u6.UserProcs == 0 {
+		t.Errorf("user_6 = %+v, want only user-directory processes", u6)
+	}
+	// user_4 is the dominant Python user.
+	if byUser["user_4"].PythonProcs <= byUser["user_5"].PythonProcs {
+		t.Errorf("user_4 python %d should exceed user_5 %d",
+			byUser["user_4"].PythonProcs, byUser["user_5"].PythonProcs)
+	}
+	// Most users mix system and user executables.
+	if byUser["user_2"].UserProcs == 0 || byUser["user_2"].SystemProcs == 0 {
+		t.Errorf("user_2 = %+v, want a mix", byUser["user_2"])
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	f := campaignFixture(t)
+	top := f.data.TopSystemExecutables(10)
+	if len(top) != 10 {
+		t.Fatalf("top-10 has %d rows", len(top))
+	}
+	byPath := make(map[string]analysis.ExeStat)
+	for _, e := range f.data.TopSystemExecutables(0) {
+		byPath[e.Path] = e
+	}
+	// srun is used by exactly 10 of the 12 users (not user_1, not user_6).
+	if got := byPath["/usr/bin/srun"].UniqueUsers; got != 10 {
+		t.Errorf("srun users = %d, want 10", got)
+	}
+	if got := byPath["/usr/bin/bash"].UniqueUsers; got != 8 {
+		t.Errorf("bash users = %d, want 8", got)
+	}
+	if got := byPath["/usr/bin/lua5.3"].UniqueUsers; got != 8 {
+		t.Errorf("lua users = %d, want 8", got)
+	}
+	// mkdir and rm dominate process counts (the user_1 storm).
+	if byPath["/usr/bin/mkdir"].Processes < byPath["/usr/bin/srun"].Processes {
+		t.Error("mkdir should outnumber srun by processes")
+	}
+	// Variant counts: bash 3 object sets, srun 3, lua 2, mkdir 1.
+	if got := byPath["/usr/bin/bash"].UniqueObjectsH; got != 3 {
+		t.Errorf("bash OBJECTS_H variants = %d, want 3", got)
+	}
+	if got := byPath["/usr/bin/srun"].UniqueObjectsH; got != 3 {
+		t.Errorf("srun OBJECTS_H variants = %d, want 3", got)
+	}
+	if got := byPath["/usr/bin/lua5.3"].UniqueObjectsH; got != 2 {
+		t.Errorf("lua OBJECTS_H variants = %d, want 2", got)
+	}
+	if got := byPath["/usr/bin/mkdir"].UniqueObjectsH; got != 1 {
+		t.Errorf("mkdir OBJECTS_H variants = %d, want 1", got)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	f := campaignFixture(t)
+	sets := f.data.DeviatingLibraries("/usr/bin/bash")
+	if len(sets) != 3 {
+		t.Fatalf("bash object sets = %d, want 3", len(sets))
+	}
+	// Majority variant: /lib64 libtinfo, no libm.
+	if sets[0].LibraryVariant("libtinfo") != "/lib64/libtinfo.so.6" {
+		t.Errorf("majority libtinfo = %s", sets[0].LibraryVariant("libtinfo"))
+	}
+	if sets[0].LibraryVariant("libm") != "–" {
+		t.Errorf("majority should not load libm: %s", sets[0].LibraryVariant("libm"))
+	}
+	var sawSpack, sawSWWithLibm bool
+	for _, s := range sets[1:] {
+		ti := s.LibraryVariant("libtinfo")
+		if strings.Contains(ti, "/appl/spack/") {
+			sawSpack = true
+		}
+		if strings.Contains(ti, "/pfs/SW/") && s.LibraryVariant("libm") == "/lib64/libm.so.6" {
+			sawSWWithLibm = true
+		}
+	}
+	if !sawSpack {
+		t.Error("missing spack libtinfo variant")
+	}
+	if !sawSWWithLibm {
+		t.Error("missing SW libtinfo + libm variant")
+	}
+	// Majority ordering by process count.
+	if sets[0].Processes <= sets[1].Processes {
+		t.Error("variants not sorted by process count")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	f := campaignFixture(t)
+	labels := f.data.DeriveLabels()
+	byLabel := make(map[string]analysis.LabelStat)
+	for _, l := range labels {
+		byLabel[l.Label] = l
+	}
+	for _, want := range []string{"LAMMPS", "GROMACS", "miniconda", "janko", "icon", "amber", "gzip", "UNKNOWN", "alexandria", "RadRad"} {
+		if _, ok := byLabel[want]; !ok {
+			t.Errorf("label %s missing (have %v)", want, labels)
+		}
+	}
+	if byLabel["GROMACS"].UniqueUsers != 2 {
+		t.Errorf("GROMACS users = %d, want 2", byLabel["GROMACS"].UniqueUsers)
+	}
+	if byLabel["LAMMPS"].UniqueUsers != 2 {
+		t.Errorf("LAMMPS users = %d, want 2", byLabel["LAMMPS"].UniqueUsers)
+	}
+	if byLabel["GROMACS"].UniqueFileH != 1 {
+		t.Errorf("GROMACS unique FILE_H = %d, want 1 (single binary, many users)", byLabel["GROMACS"].UniqueFileH)
+	}
+	// icon has by far the most distinct executables.
+	for _, l := range labels {
+		if l.Label != "icon" && l.UniqueFileH >= byLabel["icon"].UniqueFileH {
+			t.Errorf("icon unique FILE_H (%d) should dominate %s (%d)",
+				byLabel["icon"].UniqueFileH, l.Label, l.UniqueFileH)
+		}
+	}
+	if byLabel["icon"].UniqueUsers != 1 {
+		t.Errorf("icon users = %d, want 1", byLabel["icon"].UniqueUsers)
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	f := campaignFixture(t)
+	rows := f.data.CompilerTable()
+	byCombo := make(map[string]analysis.CompilerStat)
+	for _, r := range rows {
+		byCombo[r.Compilers] = r
+	}
+	for _, combo := range []string{
+		"LLD [AMD]",
+		"GCC [SUSE]",
+		"GCC [Red Hat], GCC [conda]",
+		"GCC [SUSE], GCC [HPE]",
+		"GCC [Red Hat], rustc",
+		"GCC [SUSE], clang [AMD]",
+	} {
+		if _, ok := byCombo[combo]; !ok {
+			t.Errorf("combo %q missing (have %d rows)", combo, len(rows))
+		}
+	}
+	// LLD [AMD] covers GROMACS+gzip+LAMMPS users → most unique users.
+	if rows[0].Compilers != "LLD [AMD]" {
+		t.Errorf("top combo = %q, want LLD [AMD]", rows[0].Compilers)
+	}
+	// Pure GCC [SUSE] has the most unique executables (the icon rebuilds).
+	var maxFileH analysis.CompilerStat
+	for _, r := range rows {
+		if r.UniqueFileH > maxFileH.UniqueFileH {
+			maxFileH = r
+		}
+	}
+	if maxFileH.Compilers != "GCC [SUSE]" {
+		t.Errorf("combo with most unique FILE_H = %q, want GCC [SUSE]", maxFileH.Compilers)
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	f := campaignFixture(t)
+	unknown, ok := f.data.FindUnknown()
+	if !ok {
+		t.Fatal("no UNKNOWN baseline found")
+	}
+	rows := f.data.SimilaritySearch(unknown, 10, ssdeep.BackendWeighted)
+	if len(rows) == 0 {
+		t.Fatal("similarity search returned nothing")
+	}
+	for i, r := range rows {
+		if r.Label != "icon" {
+			t.Errorf("row %d label = %s, want icon", i, r.Label)
+		}
+	}
+	if rows[0].Avg != 100 {
+		t.Errorf("best match avg = %.1f, want 100 (identical build exists)", rows[0].Avg)
+	}
+	// Scores decrease down the table.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Avg > rows[i-1].Avg {
+			t.Error("rows not sorted by average similarity")
+		}
+	}
+	t.Logf("similarity top rows: %+v", rows[:min(3, len(rows))])
+}
+
+func TestTable8Shape(t *testing.T) {
+	f := campaignFixture(t)
+	rows := f.data.PythonInterpreters()
+	if len(rows) != 3 {
+		t.Fatalf("interpreters = %d, want 3", len(rows))
+	}
+	byName := make(map[string]analysis.InterpreterStat)
+	for _, r := range rows {
+		byName[r.Interpreter] = r
+	}
+	if byName["python3.10"].UniqueUsers != 2 {
+		t.Errorf("python3.10 users = %d, want 2", byName["python3.10"].UniqueUsers)
+	}
+	if byName["python3.6"].UniqueUsers != 1 || byName["python3.11"].UniqueUsers != 1 {
+		t.Error("python3.6/3.11 should each have one user")
+	}
+	// 3.6 dominates processes; 3.10 has the most distinct scripts relative
+	// to its process count.
+	if byName["python3.6"].Processes <= byName["python3.10"].Processes {
+		t.Error("python3.6 should dominate process count")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	f := campaignFixture(t)
+	tags := f.data.DerivedLibraries()
+	byTag := make(map[string]analysis.LibraryTagStat)
+	for _, s := range tags {
+		byTag[s.Tag] = s
+	}
+	// siren is loaded by every observed user application.
+	maxUsers := 0
+	for _, s := range tags {
+		if s.UniqueUsers > maxUsers {
+			maxUsers = s.UniqueUsers
+		}
+	}
+	if byTag["siren"].UniqueUsers != maxUsers {
+		t.Errorf("siren users = %d, max = %d", byTag["siren"].UniqueUsers, maxUsers)
+	}
+	for _, want := range []string{"siren", "pthread", "cray", "quadmath-cray", "rocfft-rocm-fft",
+		"climatedt", "climatedt-yaml", "hdf5-fortran-parallel-cray", "torch-tykky", "gromacs"} {
+		if _, ok := byTag[want]; !ok {
+			t.Errorf("tag %s missing", want)
+		}
+	}
+	// climatedt: many unique executables (icon variants), few jobs.
+	cd := byTag["climatedt"]
+	if cd.UniqueExecutables <= cd.Jobs {
+		t.Errorf("climatedt executables (%d) should exceed jobs (%d) — the Figure 2 disparity",
+			cd.UniqueExecutables, cd.Jobs)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	f := campaignFixture(t)
+	pkgs := f.data.PythonPackages()
+	byPkg := make(map[string]analysis.PackageStat)
+	for _, p := range pkgs {
+		byPkg[p.Package] = p
+	}
+	// heapq and struct are imported by all three Python users.
+	if byPkg["heapq"].UniqueUsers != 3 || byPkg["struct"].UniqueUsers != 3 {
+		t.Errorf("heapq/struct users = %d/%d, want 3/3",
+			byPkg["heapq"].UniqueUsers, byPkg["struct"].UniqueUsers)
+	}
+	// mpi4py and numpy are specialist imports (subset of users).
+	if byPkg["mpi4py"].UniqueUsers >= 3 {
+		t.Errorf("mpi4py users = %d, want < 3", byPkg["mpi4py"].UniqueUsers)
+	}
+	if _, ok := byPkg["pandas"]; !ok {
+		t.Error("pandas missing")
+	}
+}
+
+func TestFigure4And5Matrices(t *testing.T) {
+	f := campaignFixture(t)
+	cm := f.data.CompilerMatrix()
+	if !cm.Used("icon", "GCC [SUSE]") || !cm.Used("icon", "clang [Cray]") {
+		t.Error("icon compiler row wrong")
+	}
+	if cm.Used("GROMACS", "GCC [SUSE]") || !cm.Used("GROMACS", "LLD [AMD]") {
+		t.Error("GROMACS compiler row wrong")
+	}
+	if !cm.Used("miniconda", "rustc") {
+		t.Error("miniconda should show rustc (mamba)")
+	}
+
+	lm := f.data.LibraryMatrix()
+	if !lm.Used("icon", "climatedt") || !lm.Used("icon", "hdf5-cray") {
+		t.Error("icon library row wrong")
+	}
+	if !lm.Used("amber", "cuda-amber") || !lm.Used("amber", "hdf5-fortran-parallel-cray") {
+		t.Error("amber library row wrong")
+	}
+	// gzip loads nothing but siren (and libc, which carries no tag).
+	if lm.Used("gzip", "pthread") {
+		t.Error("gzip must not show pthread")
+	}
+	if !lm.Used("gzip", "siren") {
+		t.Error("gzip must show siren (the preload itself)")
+	}
+	// Every app loads siren.
+	for _, row := range lm.Rows {
+		if !lm.Used(row, "siren") {
+			t.Errorf("%s missing siren tag", row)
+		}
+	}
+}
+
+func TestStaticAndContainerInvisible(t *testing.T) {
+	f := campaignFixture(t)
+	for _, r := range f.records {
+		if r.Exe == StaticToolPath {
+			t.Fatalf("statically linked tool was collected: %+v", r)
+		}
+	}
+	// The containerised icon runs of sys8 are invisible: every icon record
+	// must come from a job that loaded the icon modules (PrgEnv); sys8 jobs
+	// loaded only app-icon + siren. Check via modules: icon records all have
+	// non-empty module lists including PrgEnv-cray.
+	for _, r := range f.records {
+		if strings.Contains(r.Exe, "/icon/build_") {
+			found := false
+			for _, m := range r.Modules {
+				if strings.HasPrefix(m, "PrgEnv-cray/") {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("icon record from container job leaked: %+v", r.Modules)
+			}
+		}
+	}
+}
+
+func TestMissingFieldsAbsentWithoutLoss(t *testing.T) {
+	f := campaignFixture(t)
+	if f.stats.ProcessesWithMissing != 0 {
+		t.Errorf("processes with missing fields = %d, want 0 on a lossless transport",
+			f.stats.ProcessesWithMissing)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

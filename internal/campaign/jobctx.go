@@ -1,0 +1,205 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+
+	"siren/internal/procfs"
+	"siren/internal/pyenv"
+	"siren/internal/slurm"
+	"siren/internal/xxhash"
+)
+
+// runJob executes one job of a template: builds the module environment,
+// registers the Slurm identity, and walks the job-script steps.
+func (st *runState) runJob(tmpl *template, jobIdx int, adjust float64) error {
+	mods := tmpl.modules
+	if len(tmpl.moduleVariants) > 0 {
+		mods = tmpl.moduleVariants[jobIdx%len(tmpl.moduleVariants)]
+	}
+	base := make(map[string]string)
+	if len(mods) > 0 {
+		sess, err := st.modsys.NewSession()
+		if err != nil {
+			return fmt.Errorf("campaign: %s: %w", tmpl.name, err)
+		}
+		for _, m := range mods {
+			if err := sess.Load(m); err != nil {
+				return fmt.Errorf("campaign: %s: %w", tmpl.name, err)
+			}
+		}
+		base = sess.Env()
+	}
+	for k, v := range tmpl.extraEnv {
+		if k == "LD_LIBRARY_PATH" && v == "" {
+			// Placeholder: the user's profile exports the app's library path.
+			for _, s := range tmpl.steps {
+				if s.app != "" {
+					v = appEnvOf(st.cat, s.app)["LD_LIBRARY_PATH"]
+					break
+				}
+			}
+		}
+		if v == "" {
+			continue
+		}
+		if (k == "LD_LIBRARY_PATH" || k == "LD_PRELOAD") && base[k] != "" {
+			base[k] = v + ":" + base[k]
+		} else {
+			base[k] = v
+		}
+	}
+
+	job := slurm.Job{
+		ID:   st.cluster.NextJobID(),
+		Name: tmpl.jobName,
+		User: tmpl.user,
+		UID:  tmpl.uid,
+		GID:  tmpl.uid,
+		Node: st.cluster.Node(jobIdx + int(xxhash.Sum64String(tmpl.name)%64)),
+	}
+
+	jc := &jobCtx{st: st, tmpl: tmpl, jobIdx: jobIdx, adjust: adjust, job: job, base: base}
+	if tmpl.useBash {
+		// The batch script itself runs under bash; everything else is its
+		// child.
+		env := job.TaskEnv(base, 0, 0)
+		_, err := st.run("/usr/bin/bash", slurm.ExecOptions{
+			PPID: 1, UID: tmpl.uid, GID: tmpl.uid, Env: env,
+		}, func(root *procfs.Proc) error {
+			return jc.execSteps(root.PID)
+		})
+		return err
+	}
+	return jc.execSteps(1)
+}
+
+// run wraps Runtime.Run with the process counter.
+func (st *runState) run(exe string, opts slurm.ExecOptions, body func(*procfs.Proc) error) (*procfs.Proc, error) {
+	st.procs.Add(1)
+	return st.rt.Run(exe, opts, body)
+}
+
+// jobCtx carries per-job execution state.
+type jobCtx struct {
+	st     *runState
+	tmpl   *template
+	jobIdx int
+	adjust float64
+	job    slurm.Job
+	base   map[string]string
+}
+
+// n scales a full-magnitude per-job multiplicity.
+func (jc *jobCtx) n(perJob float64) int {
+	v := int(math.Round(perJob * jc.adjust))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// execSteps walks the template's steps as children of ppid.
+func (jc *jobCtx) execSteps(ppid int) error {
+	st := jc.st
+	tmpl := jc.tmpl
+	stepID := 0
+	for _, s := range tmpl.steps {
+		n := jc.n(s.perJob)
+		switch {
+		case s.static:
+			for i := 0; i < n; i++ {
+				env := jc.job.TaskEnv(jc.base, 0, 0)
+				if _, err := st.run(StaticToolPath, slurm.ExecOptions{
+					PPID: ppid, UID: tmpl.uid, GID: tmpl.uid, Env: env,
+				}, nil); err != nil {
+					return err
+				}
+			}
+
+		case s.execPair[0] != "":
+			env := jc.job.TaskEnv(jc.base, 0, 0)
+			for i := 0; i < n; i++ {
+				st.procs.Add(2)
+				if _, err := st.rt.RunExec(s.execPair[0], s.execPair[1], slurm.ExecOptions{
+					PPID: ppid, UID: tmpl.uid, GID: tmpl.uid, Env: env,
+				}); err != nil {
+					return err
+				}
+			}
+
+		case s.util != "":
+			path := st.cat.SystemExePath(s.util)
+			if path == "" {
+				return fmt.Errorf("campaign: unknown utility %q", s.util)
+			}
+			env := jc.job.TaskEnv(jc.base, 0, 0)
+			for i := 0; i < n; i++ {
+				if _, err := st.run(path, slurm.ExecOptions{
+					PPID: ppid, UID: tmpl.uid, GID: tmpl.uid, Env: env,
+				}, nil); err != nil {
+					return err
+				}
+			}
+
+		case s.app != "":
+			app := st.cat.App(s.app)
+			if app == nil {
+				return fmt.Errorf("campaign: unknown app %q", s.app)
+			}
+			stride := s.stride
+			if stride == 0 {
+				stride = 1
+			}
+			spread := s.spread
+			if spread == 0 {
+				spread = 1
+			}
+			for i := 0; i < n; i++ {
+				variant := s.fixedVar
+				if variant < 0 {
+					variant = (jc.jobIdx*stride + i*spread) % len(app.Variants)
+				}
+				v := app.Variants[variant%len(app.Variants)]
+				if s.viaSrun {
+					stepID++
+				}
+				ranks := s.ranks
+				if ranks <= 0 {
+					ranks = 1
+				}
+				for r := 0; r < ranks; r++ {
+					env := jc.job.TaskEnv(jc.base, stepID, r)
+					if _, err := st.run(v.Path, slurm.ExecOptions{
+						PPID: ppid, UID: tmpl.uid, GID: tmpl.uid, Env: env,
+						Container: s.container,
+					}, nil); err != nil {
+						return err
+					}
+				}
+			}
+
+		case s.python != "":
+			it, ok := st.cat.Interpreter(s.python)
+			if !ok {
+				return fmt.Errorf("campaign: unknown interpreter %q", s.python)
+			}
+			scriptIdx := jc.jobIdx % s.scriptCount
+			script := scriptPath(tmpl.user, tmpl.name, scriptIdx)
+			imports := s.imports(scriptIdx)
+			extra := pyenv.MapRegions(it, imports, 0x7f4000000000)
+			env := jc.job.TaskEnv(jc.base, 0, 0)
+			for i := 0; i < n; i++ {
+				if _, err := st.run(it.Path, slurm.ExecOptions{
+					PPID: ppid, UID: tmpl.uid, GID: tmpl.uid, Env: env, ExtraMaps: extra,
+				}, func(p *procfs.Proc) error {
+					p.Cmdline = []string{it.Path, script}
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,399 @@
+package campaign
+
+// The 12-user workload of the paper's Table 2, expressed as job templates.
+// Full-scale job counts and per-job process multiplicities approximate the
+// published magnitudes; orderings and category mixes match exactly:
+//
+//	user_1  11782 jobs  system-only data mover (mkdir/rm storms)
+//	user_2    930 jobs  miniconda + GROMACS + LAMMPS + user gzip
+//	user_3      2 jobs  small system-only jobs
+//	user_4    205 jobs  python3.6/3.11 + GROMACS + system-heavy staging
+//	user_5     47 jobs  python3.10 (srun-launched, no bash)
+//	user_6      2 jobs  RadRad launched directly: no system executables
+//	user_7      1 job   one LAMMPS run
+//	user_8    216 jobs  icon rebuild campaign + the UNKNOWN a.out + misc
+//	user_9      4 jobs  alexandria (srun, no bash)
+//	user_10    28 jobs  amber with heavy staging
+//	user_11   230 jobs  janko + system jobs
+//	user_12     1 job   a single python3.10 script
+type template struct {
+	name    string
+	user    string
+	uid     uint32
+	jobs    int    // full-scale job count
+	jobName string // user-chosen Slurm job name (arbitrary, unreliable)
+	useBash bool   // job script runs under a root bash
+	modules []string
+	// moduleVariants, when set, overrides modules per job (jobIdx modulo) —
+	// the source of the declining MO_H scores in Table 7.
+	moduleVariants [][]string
+	extraEnv       map[string]string // exported by the user's shell profile
+	steps          []step
+}
+
+// step is one component of a job script. Exactly one of util, execPair[0],
+// app, python, or static selects the kind.
+type step struct {
+	// System utility runs.
+	util   string
+	perJob float64
+
+	// exec() pair: first exe replaces itself with the second (same PID).
+	execPair [2]string
+
+	// Application processes.
+	app       string // catalogue label
+	ranks     int    // srun task count; ranks>1 exercises the PROCID gate
+	stride    int    // variant rotation stride across jobs (default 1)
+	spread    int    // variant rotation stride across procs within a job (default 1)
+	fixedVar  int    // fixed variant index; -1 rotates
+	container bool   // run inside a container (preload invisible)
+	viaSrun   bool   // launched through an srun process
+
+	// Python interpreter runs.
+	python      string // interpreter version
+	scriptCount int    // distinct input scripts across the template's jobs
+	importsFn   func(i int) []string
+
+	// Statically linked tool (never collected).
+	static bool
+}
+
+func (s step) imports(i int) []string {
+	if s.importsFn == nil {
+		return nil
+	}
+	return s.importsFn(i)
+}
+
+// rotate returns base plus k elements of pool starting at offset i.
+func rotate(base []string, pool []string, i, k int) []string {
+	out := append([]string(nil), base...)
+	for j := 0; j < k; j++ {
+		out = append(out, pool[(i+j)%len(pool)])
+	}
+	return out
+}
+
+var pyBase = []string{"heapq", "struct", "math"}
+
+func templates() []template {
+	sirenMods := func(mods ...string) []string {
+		return append(mods, "siren/1.0")
+	}
+	return []template{
+		{
+			name: "datamover", user: "user_1", uid: 1001, jobs: 11782,
+			jobName: "copy.sh", useBash: true, modules: sirenMods(),
+			steps: []step{
+				{util: "bash", perJob: 10},
+				{execPair: [2]string{"/usr/bin/bash", "/usr/bin/mkdir"}, perJob: 1},
+				{util: "mkdir", perJob: 45},
+				{util: "rm", perJob: 44},
+				{util: "cat", perJob: 2},
+				{static: true, perJob: 1},
+			},
+		},
+		{
+			name: "conda", user: "user_2", uid: 1002, jobs: 673,
+			jobName: "env-build", useBash: true,
+			modules: sirenMods("spack-env/23.09"),
+			steps: []step{
+				{util: "bash", perJob: 1},
+				{util: "lua5.3", perJob: 8},
+				{util: "srun", perJob: 1},
+				{util: "rm", perJob: 1},
+				{app: "miniconda", perJob: 7.5, ranks: 1, stride: 3, fixedVar: -1},
+			},
+		},
+		{
+			name: "gmx2", user: "user_2", uid: 1002, jobs: 150,
+			jobName: "md_prod", useBash: true,
+			modules: sirenMods("PrgEnv-cray/8.5.0", "app-GROMACS/1.0"),
+			steps: []step{
+				{util: "bash", perJob: 1},
+				{util: "lua5.3", perJob: 12},
+				{util: "srun", perJob: 3},
+				{util: "uname", perJob: 24},
+				{util: "grep", perJob: 8},
+				{util: "ls", perJob: 6},
+				{util: "cp", perJob: 11},
+				{app: "GROMACS", perJob: 10, ranks: 4, fixedVar: 0, viaSrun: true},
+			},
+		},
+		{
+			name: "lmp2", user: "user_2", uid: 1002, jobs: 89,
+			jobName: "melt", useBash: true,
+			modules: sirenMods("PrgEnv-cray/8.5.0", "app-LAMMPS/1.0"),
+			steps: []step{
+				{util: "bash", perJob: 1},
+				{util: "lua5.3", perJob: 10},
+				{util: "srun", perJob: 1},
+				{app: "LAMMPS", perJob: 2.5, ranks: 4, stride: 1, fixedVar: -1, viaSrun: true},
+			},
+		},
+		{
+			name: "gzip2", user: "user_2", uid: 1002, jobs: 18,
+			jobName: "pack", useBash: true, modules: sirenMods(),
+			steps: []step{
+				{util: "bash", perJob: 1},
+				{util: "ls", perJob: 2},
+				{app: "gzip", perJob: 1.05, ranks: 1, fixedVar: 0},
+			},
+		},
+		{
+			name: "sys3", user: "user_3", uid: 1003, jobs: 2,
+			jobName: "check", useBash: true, modules: sirenMods(),
+			steps: []step{
+				{util: "bash", perJob: 1},
+				{util: "srun", perJob: 1},
+				{util: "cat", perJob: 3},
+			},
+		},
+		{
+			name: "py36", user: "user_4", uid: 1004, jobs: 28,
+			jobName: "ensemble", useBash: true,
+			modules: sirenMods("PrgEnv-cray/8.5.0"),
+			steps: []step{
+				{util: "bash", perJob: 2},
+				{util: "lua5.3", perJob: 10},
+				{util: "srun", perJob: 2},
+				{util: "rm", perJob: 20},
+				{util: "mkdir", perJob: 30},
+				{util: "cat", perJob: 50},
+				{python: "3.6", perJob: 531, scriptCount: 6, importsFn: func(i int) []string {
+					return rotate(append(pyBase, "select", "posixsubprocess", "mpi4py", "numpy"),
+						[]string{"scipy", "pickle", "json", "socket", "multiprocessing", "random"}, i, 3)
+				}},
+			},
+		},
+		{
+			name: "py311", user: "user_4", uid: 1004, jobs: 8,
+			jobName: "train", useBash: true,
+			modules: sirenMods("PrgEnv-cray/8.5.0"),
+			steps: []step{
+				{util: "bash", perJob: 2},
+				{util: "lua5.3", perJob: 10},
+				{util: "srun", perJob: 1},
+				{python: "3.11", perJob: 1050, scriptCount: 5, importsFn: func(i int) []string {
+					return rotate(append(pyBase, "numpy", "pandas", "hashlib"),
+						[]string{"blake2", "sha512", "sha3", "zlib", "bz2", "lzma", "mmap", "queue"}, i, 3)
+				}},
+			},
+		},
+		{
+			name: "gmx4", user: "user_4", uid: 1004, jobs: 65,
+			jobName: "md_scale", useBash: true,
+			modules: sirenMods("PrgEnv-cray/8.5.0", "app-GROMACS/1.0"),
+			steps: []step{
+				{util: "bash", perJob: 1},
+				{util: "lua5.3", perJob: 12},
+				{util: "srun", perJob: 3},
+				{util: "uname", perJob: 24},
+				{util: "grep", perJob: 8},
+				{util: "ls", perJob: 6},
+				{util: "cp", perJob: 11},
+				{util: "mkdir", perJob: 20},
+				{app: "GROMACS", perJob: 10, ranks: 4, fixedVar: 0, viaSrun: true},
+			},
+		},
+		{
+			name: "stage4", user: "user_4", uid: 1004, jobs: 104,
+			jobName: "stage", useBash: true, modules: sirenMods(),
+			steps: []step{
+				{util: "bash", perJob: 20},
+				{util: "mkdir", perJob: 2500},
+				{util: "rm", perJob: 2400},
+				{util: "cat", perJob: 80},
+				{util: "grep", perJob: 10},
+			},
+		},
+		{
+			name: "py310", user: "user_5", uid: 1005, jobs: 29,
+			jobName: "plot", useBash: false,
+			modules: sirenMods(),
+			steps: []step{
+				{util: "srun", perJob: 1},
+				{util: "lua5.3", perJob: 2},
+				{util: "cat", perJob: 1},
+				{python: "3.10", perJob: 1, scriptCount: 27, importsFn: func(i int) []string {
+					return rotate(pyBase,
+						[]string{"csv", "ctypes", "datetime", "decimal", "grp", "json", "mmap",
+							"opcode", "pandas", "pickle", "queue", "random", "sha512", "socket",
+							"unicodedata", "zoneinfo", "sha3", "bisect", "cmath", "blake2",
+							"hashlib", "bz2", "lzma", "zlib", "fcntl", "array", "binascii"}, i, 4)
+				}},
+			},
+		},
+		{
+			name: "sys5", user: "user_5", uid: 1005, jobs: 18,
+			jobName: "probe", useBash: false, modules: sirenMods(),
+			steps: []step{
+				{util: "srun", perJob: 1},
+				{util: "cat", perJob: 1},
+			},
+		},
+		{
+			// user_6 launches the application binary directly: no bash, no
+			// srun, no lua — the Table 2 row with zero system processes.
+			// Opt-in happens via shell-profile exports, not the module.
+			name: "radrad", user: "user_6", uid: 1006, jobs: 2,
+			jobName: "a.out", useBash: false, modules: nil,
+			extraEnv: map[string]string{
+				"LD_PRELOAD":      "/opt/siren/lib/siren.so",
+				"LD_LIBRARY_PATH": "", // filled by app env at execution
+			},
+			steps: []step{
+				{app: "RadRad", perJob: 1, ranks: 1, stride: 1, fixedVar: -1},
+			},
+		},
+		{
+			name: "lmp7", user: "user_7", uid: 1007, jobs: 1,
+			jobName: "bench", useBash: true,
+			modules: sirenMods("PrgEnv-cray/8.5.0", "app-LAMMPS/1.0"),
+			steps: []step{
+				{util: "bash", perJob: 2},
+				{util: "lua5.3", perJob: 4},
+				{util: "srun", perJob: 1},
+				{util: "cat", perJob: 8},
+				{util: "uname", perJob: 2},
+				{app: "LAMMPS", perJob: 1, ranks: 4, fixedVar: 4, viaSrun: true},
+			},
+		},
+		{
+			name: "icon", user: "user_8", uid: 1008, jobs: 64,
+			jobName: "exp_hist", useBash: true,
+			// Per-job module drift (version bumps, extra rocm) produces the
+			// declining MO_H band of Table 7.
+			moduleVariants: [][]string{
+				sirenMods("PrgEnv-cray/8.5.0", "cray-netcdf/4.9.0", "app-icon/1.0"),
+				sirenMods("craype/2.7.31", "PrgEnv-cray/8.5.0", "cray-netcdf/4.9.0", "app-icon/1.0"),
+				sirenMods("PrgEnv-cray/8.5.0", "cray-netcdf/4.9.0", "rocm/6.0.3", "app-icon/1.0"),
+			},
+			steps: []step{
+				{util: "bash", perJob: 2},
+				{util: "lua5.3", perJob: 8},
+				{util: "srun", perJob: 3},
+				{util: "rm", perJob: 2},
+				{util: "ls", perJob: 2},
+				{util: "mkdir", perJob: 3},
+				{util: "cat", perJob: 4},
+				// spread 14 walks the whole 175-variant space even in a
+				// single job (gcd(14,175)=7, combined with the job stride
+				// 10 every variant is eventually exercised).
+				{app: "icon", perJob: 9.8, ranks: 2, stride: 10, spread: 14, fixedVar: -1, viaSrun: true},
+			},
+		},
+		{
+			// The Table 7 subject: icon builds under a nondescript a.out.
+			// The job loads the *same* modules as the icon jobs (the user
+			// copy-pasted their own job script), so the closest icon
+			// instance matches at MO_H=100; the environment additionally
+			// pulls libtinfo from /pfs/SW — the third bash variant of
+			// Table 4.
+			name: "unknown", user: "user_8", uid: 1008, jobs: 3,
+			jobName: "run.sh", useBash: true,
+			modules:  sirenMods("PrgEnv-cray/8.5.0", "cray-netcdf/4.9.0", "app-icon/1.0"),
+			extraEnv: map[string]string{"LD_LIBRARY_PATH": "/pfs/SW/env/lib"},
+			steps: []step{
+				{util: "bash", perJob: 2},
+				{util: "srun", perJob: 1},
+				{app: "UNKNOWN", perJob: 5.7, ranks: 2, stride: 3, fixedVar: -1, viaSrun: true},
+			},
+		},
+		{
+			name: "sys8", user: "user_8", uid: 1008, jobs: 149,
+			jobName: "post", useBash: true, modules: sirenMods("app-icon/1.0"),
+			steps: []step{
+				{util: "bash", perJob: 2},
+				{util: "cat", perJob: 10},
+				{util: "ls", perJob: 5},
+				{util: "mkdir", perJob: 5},
+				// A containerised icon run: LD_PRELOAD propagates into the
+				// container but siren.so is not mounted — never collected.
+				{app: "icon", perJob: 1, ranks: 1, fixedVar: 0, container: true},
+			},
+		},
+		{
+			name: "alex", user: "user_9", uid: 1009, jobs: 2,
+			jobName: "fit", useBash: false,
+			modules: sirenMods("PrgEnv-cray/8.5.0", "app-alexandria/1.0"),
+			steps: []step{
+				{util: "srun", perJob: 1},
+				{util: "lua5.3", perJob: 6},
+				{app: "alexandria", perJob: 2, ranks: 1, fixedVar: 0, viaSrun: true},
+			},
+		},
+		{
+			name: "sys9", user: "user_9", uid: 1009, jobs: 2,
+			jobName: "io", useBash: false, modules: sirenMods(),
+			steps: []step{
+				{util: "srun", perJob: 1},
+				{util: "lua5.3", perJob: 1},
+			},
+		},
+		{
+			name: "amber", user: "user_10", uid: 1010, jobs: 27,
+			jobName: "md_amber", useBash: true,
+			// cray-pmi-exp redirects srun's PMI — srun's third OBJECTS_H
+			// variant in Table 3.
+			modules: sirenMods("PrgEnv-cray/8.5.0", "rocm/6.0.3", "cray-pmi-exp/6.1", "app-amber/1.0"),
+			steps: []step{
+				{util: "bash", perJob: 3},
+				{util: "lua5.3", perJob: 10},
+				{util: "srun", perJob: 4},
+				{util: "rm", perJob: 30},
+				{util: "mkdir", perJob: 40},
+				{util: "uname", perJob: 24},
+				{util: "grep", perJob: 10},
+				{util: "ls", perJob: 6},
+				{util: "cp", perJob: 10},
+				{app: "amber", perJob: 33, ranks: 4, stride: 1, fixedVar: -1, viaSrun: true},
+			},
+		},
+		{
+			name: "sys10", user: "user_10", uid: 1010, jobs: 1,
+			jobName: "clean", useBash: true, modules: sirenMods(),
+			steps: []step{
+				{util: "bash", perJob: 2},
+				{util: "rm", perJob: 10},
+			},
+		},
+		{
+			name: "janko", user: "user_11", uid: 1011, jobs: 138,
+			jobName: "solve", useBash: true,
+			modules: sirenMods("PrgEnv-cray/8.5.0", "spack-env/23.09", "app-janko/1.0"),
+			steps: []step{
+				{util: "bash", perJob: 1},
+				{util: "lua5.3", perJob: 6},
+				{util: "srun", perJob: 1},
+				{util: "uname", perJob: 2},
+				{util: "grep", perJob: 2},
+				{util: "ls", perJob: 1},
+				{util: "rm", perJob: 3},
+				{app: "janko", perJob: 1, ranks: 1, stride: 1, fixedVar: -1, viaSrun: true},
+			},
+		},
+		{
+			name: "sys11", user: "user_11", uid: 1011, jobs: 92,
+			jobName: "tidy", useBash: true, modules: sirenMods(),
+			steps: []step{
+				{util: "bash", perJob: 1},
+				{util: "rm", perJob: 5},
+				{util: "uname", perJob: 2},
+				{util: "ls", perJob: 1},
+			},
+		},
+		{
+			name: "py12", user: "user_12", uid: 1012, jobs: 1,
+			jobName: "hello", useBash: false, modules: sirenMods(),
+			steps: []step{
+				{util: "srun", perJob: 1},
+				{util: "hostname", perJob: 1},
+				{python: "3.10", perJob: 1, scriptCount: 1, importsFn: func(i int) []string {
+					return pyBase
+				}},
+			},
+		},
+	}
+}

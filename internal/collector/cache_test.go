@@ -1,0 +1,77 @@
+package collector
+
+import (
+	"testing"
+
+	"siren/internal/procfs"
+	"siren/internal/slurm"
+	"siren/internal/wire"
+)
+
+// TestDigestCacheEquivalence verifies that the cache never changes what is
+// sent: two runs of the same workload, with and without the cache, must
+// produce identical record sets.
+func TestDigestCacheEquivalence(t *testing.T) {
+	run := func(enableCache bool) map[string]string {
+		w := newWorld(t)
+		if enableCache {
+			w.col.EnableDigestCache()
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := w.rt.Run("/users/user_3/sim/bin/solver",
+				slurm.ExecOptions{PPID: 1, UID: 1003, Env: env(nil)}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := make(map[string]string)
+		for _, m := range w.drain(t) {
+			if m.Type == wire.TypeFileH || m.Type == wire.TypeStringsH || m.Type == wire.TypeSymbolsH {
+				out[m.Type] = string(m.Content)
+			}
+		}
+		return out
+	}
+	plain := run(false)
+	cached := run(true)
+	if len(plain) != 3 || len(cached) != 3 {
+		t.Fatalf("hash types: plain=%d cached=%d", len(plain), len(cached))
+	}
+	for typ, h := range plain {
+		if cached[typ] != h {
+			t.Errorf("%s differs with cache: %q vs %q", typ, h, cached[typ])
+		}
+	}
+}
+
+// TestDigestCacheInvalidatedByMtime ensures a replaced binary (same path,
+// new content and mtime) is rehashed, not served stale.
+func TestDigestCacheInvalidatedByMtime(t *testing.T) {
+	w := newWorld(t)
+	w.col.EnableDigestCache()
+	exe := "/users/user_3/sim/bin/solver"
+	if _, err := w.rt.Run(exe, slurm.ExecOptions{PPID: 1, Env: env(nil)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the binary in place (recompile): new inode+mtime.
+	old, _ := w.rt.FS.ReadFile(exe)
+	mutated := append([]byte(nil), old...)
+	for i := 0x2000; i < 0x3000; i++ {
+		mutated[i] ^= 0x5A
+	}
+	w.rt.FS.Install(exe, mutated, procfs.FileMeta{Mtime: 1800000000})
+	if _, err := w.rt.Run(exe, slurm.ExecOptions{PPID: 1, Env: env(nil)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var fileHashes []string
+	for _, m := range w.drain(t) {
+		if m.Type == wire.TypeFileH {
+			fileHashes = append(fileHashes, string(m.Content))
+		}
+	}
+	if len(fileHashes) != 2 {
+		t.Fatalf("FILE_H records = %d", len(fileHashes))
+	}
+	if fileHashes[0] == fileHashes[1] {
+		t.Error("cache served a stale digest after the binary changed")
+	}
+}

@@ -1,0 +1,445 @@
+// Package collector implements the siren.so data-collection logic: the code
+// the LD_PRELOAD mechanism injects into every process, here invoked through
+// the simulated dynamic linker's constructor/destructor hooks (and reusable
+// against real on-disk executables via ScanBinary).
+//
+// Per the paper (§3.1), the collector gathers, per process:
+//
+//   - job/process identifiers from the environment and "system calls"
+//   - executable file metadata via stat
+//   - loaded shared objects (dl_iterate_phdr → our link result)
+//   - loaded modules (LOADEDMODULES)
+//   - compiler identification strings (.comment section via libelf → elfx)
+//   - the memory map (/proc/self/maps)
+//   - SSDeep fuzzy hashes of the raw binary (FILE_H), its printable strings
+//     (STRINGS_H), and its global symbols (SYMBOLS_H); plus fuzzy hashes of
+//     each collected list so partially lost lists remain comparable
+//   - for Python interpreters: the input script's metadata and fuzzy hash
+//     (LAYER=SCRIPT)
+//
+// Collection is scoped by executable category (Table 1) to avoid hashing
+// /usr/bin/bash two million times, gated on SLURM_PROCID=0 to skip duplicate
+// MPI ranks, and *never fails the process*: every internal error increments
+// a counter and collection continues with whatever is left.
+package collector
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"siren/internal/elfx"
+	"siren/internal/lmod"
+	"siren/internal/procfs"
+	"siren/internal/pyenv"
+	"siren/internal/slurm"
+	"siren/internal/ssdeep"
+	"siren/internal/strescan"
+	"siren/internal/wire"
+	"siren/internal/xxhash"
+)
+
+// Category is the executable class that decides the collection scope.
+type Category int
+
+const (
+	// CategorySystem covers executables in system directories.
+	CategorySystem Category = iota
+	// CategoryUser covers executables outside system directories.
+	CategoryUser
+	// CategoryPython covers Python interpreters installed in system
+	// directories (user-installed interpreters count as CategoryUser).
+	CategoryPython
+)
+
+// String names the category for reports.
+func (c Category) String() string {
+	switch c {
+	case CategorySystem:
+		return "system"
+	case CategoryUser:
+		return "user"
+	case CategoryPython:
+		return "python"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// systemDirs is the paper's system-directory list (§3.1 "Selective Data
+// Collection").
+var systemDirs = []string{
+	"/etc/", "/dev/", "/usr/", "/bin/", "/boot/", "/lib/",
+	"/opt/", "/sbin/", "/sys/", "/proc/", "/var/",
+}
+
+// InSystemDir reports whether path lives under one of the system prefixes.
+func InSystemDir(path string) bool {
+	for _, d := range systemDirs {
+		if strings.HasPrefix(path, d) {
+			return true
+		}
+	}
+	return false
+}
+
+// Categorize classifies an executable path per the paper's rules.
+func Categorize(exePath string) Category {
+	sys := InSystemDir(exePath)
+	if sys && pyenv.IsInterpreterPath(exePath) {
+		return CategoryPython
+	}
+	if sys {
+		return CategorySystem
+	}
+	return CategoryUser
+}
+
+// Scope is the Table 1 policy row: which categories of information are
+// collected for a given executable class.
+type Scope struct {
+	FileMetadata bool
+	Libraries    bool
+	Modules      bool
+	Compilers    bool
+	MemoryMap    bool
+	FileH        bool
+	StringsH     bool
+	SymbolsH     bool
+}
+
+// ScopeFor returns the collection scope for a category (Table 1).
+func ScopeFor(c Category) Scope {
+	switch c {
+	case CategorySystem:
+		return Scope{FileMetadata: true, Libraries: true}
+	case CategoryPython:
+		return Scope{FileMetadata: true, Libraries: true, MemoryMap: true}
+	default: // CategoryUser
+		return Scope{FileMetadata: true, Libraries: true, Modules: true,
+			Compilers: true, MemoryMap: true, FileH: true, StringsH: true, SymbolsH: true}
+	}
+}
+
+// ScriptScope is the Table 1 column for Python input scripts: metadata and
+// the script fuzzy hash only.
+func ScriptScope() Scope { return Scope{FileMetadata: true, FileH: true} }
+
+// Stats counts collector activity with atomic counters (safe under the
+// campaign's concurrent workers).
+type Stats struct {
+	ProcessesSeen      atomic.Int64 // hook invocations
+	ProcessesCollected atomic.Int64 // passed the PROCID gate
+	ProcessesSkipped   atomic.Int64 // non-zero SLURM_PROCID
+	MessagesSent       atomic.Int64
+	Failures           atomic.Int64 // swallowed internal errors
+}
+
+// Collector implements slurm.Hook. One instance serves a whole simulation.
+type Collector struct {
+	transport   wire.Transport
+	maxDatagram int
+	stats       *Stats
+
+	// Optional digest cache keyed by (path, inode, size, mtime): the real
+	// siren.so rehashes on every start-up; enabling the cache trades exact
+	// fidelity for throughput when the same executable starts thousands of
+	// times (results are identical because the key pins the file content).
+	cacheMu sync.Mutex
+	cache   map[string]*BinaryReport
+}
+
+// New creates a collector sending datagrams through transport.
+func New(transport wire.Transport) *Collector {
+	return &Collector{transport: transport, maxDatagram: wire.MaxDatagram, stats: &Stats{}}
+}
+
+// SetMaxDatagram overrides the chunking threshold (ablation knob).
+func (c *Collector) SetMaxDatagram(n int) { c.maxDatagram = n }
+
+// EnableDigestCache turns on binary-report memoisation (see Collector docs).
+func (c *Collector) EnableDigestCache() {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	if c.cache == nil {
+		c.cache = make(map[string]*BinaryReport)
+	}
+}
+
+// scanCached runs ScanBinary through the cache when enabled.
+func (c *Collector) scanCached(ev slurm.ProcessEvent, exe string) (*BinaryReport, error) {
+	c.cacheMu.Lock()
+	enabled := c.cache != nil
+	c.cacheMu.Unlock()
+	if !enabled {
+		img, err := ev.FS.ReadFile(exe)
+		if err != nil {
+			return nil, err
+		}
+		return ScanBinary(img)
+	}
+	meta, err := ev.FS.Stat(exe)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s|%d|%d|%d", exe, meta.Inode, meta.Size, meta.Mtime)
+	c.cacheMu.Lock()
+	rep, ok := c.cache[key]
+	c.cacheMu.Unlock()
+	if ok {
+		return rep, nil
+	}
+	img, err := ev.FS.ReadFile(exe)
+	if err != nil {
+		return nil, err
+	}
+	rep, err = ScanBinary(img)
+	if err != nil {
+		return nil, err
+	}
+	c.cacheMu.Lock()
+	c.cache[key] = rep
+	c.cacheMu.Unlock()
+	return rep, nil
+}
+
+// Stats exposes the counters.
+func (c *Collector) Stats() *Stats { return c.stats }
+
+var _ slurm.Hook = (*Collector)(nil)
+
+// OnProcessStart is the constructor: collect everything known at startup.
+func (c *Collector) OnProcessStart(ev slurm.ProcessEvent) {
+	c.stats.ProcessesSeen.Add(1)
+	if procID := ev.Proc.Getenv("SLURM_PROCID"); procID != "" && procID != "0" {
+		// Only rank 0 collects; other ranks would duplicate everything.
+		c.stats.ProcessesSkipped.Add(1)
+		return
+	}
+	c.stats.ProcessesCollected.Add(1)
+	c.collect(ev, false)
+}
+
+// OnProcessExit is the destructor: collect the state that only settles
+// during execution — the memory map (Python imports appear here) and the
+// Python input script.
+func (c *Collector) OnProcessExit(ev slurm.ProcessEvent) {
+	if procID := ev.Proc.Getenv("SLURM_PROCID"); procID != "" && procID != "0" {
+		return
+	}
+	c.collect(ev, true)
+}
+
+// collect runs one collection pass. atExit selects the destructor subset.
+func (c *Collector) collect(ev slurm.ProcessEvent, atExit bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			// The real siren.so must never take down the host process; a
+			// panic in collection is swallowed and counted.
+			c.stats.Failures.Add(1)
+		}
+	}()
+
+	proc := ev.Proc
+	cat := Categorize(proc.Exe)
+	scope := ScopeFor(cat)
+	hdr := wire.Header{
+		JobID:  proc.Getenv("SLURM_JOB_ID"),
+		StepID: proc.Getenv("SLURM_STEP_ID"),
+		PID:    proc.PID,
+		Hash:   xxhash.Hash128String(proc.Exe).Hex(),
+		Host:   proc.Getenv("HOSTNAME"),
+		Time:   ev.Time,
+		Layer:  wire.LayerSelf,
+	}
+
+	if !atExit {
+		c.collectStartup(ev, hdr, cat, scope)
+	} else {
+		c.collectExit(ev, hdr, cat, scope)
+	}
+}
+
+func (c *Collector) collectStartup(ev slurm.ProcessEvent, hdr wire.Header, cat Category, scope Scope) {
+	proc := ev.Proc
+
+	if scope.FileMetadata {
+		meta, err := ev.FS.Stat(proc.Exe)
+		if err != nil {
+			c.stats.Failures.Add(1)
+		} else {
+			c.send(hdr, wire.TypeMetadata, renderMetadata(proc, meta, cat))
+		}
+	}
+
+	if scope.Libraries && ev.Link != nil {
+		objects := strings.Join(ev.Link.LoadedPaths(), "\n")
+		c.send(hdr, wire.TypeObjects, []byte(objects))
+		c.sendHash(hdr, wire.TypeObjectsH, []byte(objects))
+	}
+
+	if scope.Modules {
+		mods := strings.Join(lmod.ParseLoadedModules(proc.Getenv("LOADEDMODULES")), "\n")
+		c.send(hdr, wire.TypeModules, []byte(mods))
+		c.sendHash(hdr, wire.TypeModulesH, []byte(mods))
+	}
+
+	needBinary := scope.Compilers || scope.FileH || scope.StringsH || scope.SymbolsH
+	if !needBinary {
+		return
+	}
+	report, err := c.scanCached(ev, proc.Exe)
+	if err != nil {
+		c.stats.Failures.Add(1)
+		return
+	}
+	if scope.Compilers {
+		comps := strings.Join(report.Compilers, "\n")
+		c.send(hdr, wire.TypeCompilers, []byte(comps))
+		c.sendHash(hdr, wire.TypeCompilersH, []byte(comps))
+	}
+	if scope.FileH {
+		c.send(hdr, wire.TypeFileH, []byte(report.FileH))
+	}
+	if scope.StringsH {
+		c.send(hdr, wire.TypeStringsH, []byte(report.StringsH))
+	}
+	if scope.SymbolsH {
+		c.send(hdr, wire.TypeSymbolsH, []byte(report.SymbolsH))
+	}
+}
+
+func (c *Collector) collectExit(ev slurm.ProcessEvent, hdr wire.Header, cat Category, scope Scope) {
+	proc := ev.Proc
+
+	if scope.MemoryMap {
+		maps := procfs.RenderMaps(proc.Maps)
+		c.send(hdr, wire.TypeMaps, []byte(maps))
+		c.sendHash(hdr, wire.TypeMapsH, []byte(maps))
+	}
+
+	// Python input script: metadata plus fuzzy hash under LAYER=SCRIPT.
+	if cat == CategoryPython {
+		if script := scriptArg(proc); script != "" {
+			sh := hdr
+			sh.Layer = wire.LayerScript
+			meta, err := ev.FS.Stat(script)
+			if err != nil {
+				c.stats.Failures.Add(1)
+				return
+			}
+			c.send(sh, wire.TypeMetadata, renderScriptMetadata(script, meta))
+			content, err := ev.FS.ReadFile(script)
+			if err != nil {
+				c.stats.Failures.Add(1)
+				return
+			}
+			c.sendHash(sh, wire.TypeFileH, content)
+		}
+	}
+}
+
+// scriptArg returns the first .py argument of a process command line.
+func scriptArg(proc *procfs.Proc) string {
+	for _, arg := range proc.Cmdline[1:] {
+		if strings.HasSuffix(arg, ".py") {
+			return arg
+		}
+	}
+	return ""
+}
+
+// send chunks and transmits one record; errors are counted, not returned
+// (fire and forget).
+func (c *Collector) send(hdr wire.Header, typ string, content []byte) {
+	hdr.Type = typ
+	for _, m := range wire.Chunk(hdr, content, c.maxDatagram) {
+		if err := c.transport.Send(wire.Encode(m)); err != nil {
+			c.stats.Failures.Add(1)
+			continue
+		}
+		c.stats.MessagesSent.Add(1)
+	}
+}
+
+// sendHash fuzzy-hashes content and transmits the digest under typ.
+func (c *Collector) sendHash(hdr wire.Header, typ string, content []byte) {
+	digest, err := ssdeep.Hash(content)
+	if err != nil {
+		c.stats.Failures.Add(1)
+		return
+	}
+	c.send(hdr, typ, []byte(digest))
+}
+
+// renderMetadata serialises the METADATA record: process identity plus
+// stat(2) fields, as KEY=VALUE lines.
+func renderMetadata(proc *procfs.Proc, meta procfs.FileMeta, cat Category) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "EXE=%s\n", proc.Exe)
+	fmt.Fprintf(&sb, "CATEGORY=%s\n", cat)
+	fmt.Fprintf(&sb, "PPID=%d\n", proc.PPID)
+	fmt.Fprintf(&sb, "UID=%d\n", proc.UID)
+	fmt.Fprintf(&sb, "GID=%d\n", proc.GID)
+	fmt.Fprintf(&sb, "INODE=%d\n", meta.Inode)
+	fmt.Fprintf(&sb, "SIZE=%d\n", meta.Size)
+	fmt.Fprintf(&sb, "MODE=%o\n", meta.Mode)
+	fmt.Fprintf(&sb, "OWNER_UID=%d\n", meta.UID)
+	fmt.Fprintf(&sb, "OWNER_GID=%d\n", meta.GID)
+	fmt.Fprintf(&sb, "ATIME=%d\n", meta.Atime)
+	fmt.Fprintf(&sb, "MTIME=%d\n", meta.Mtime)
+	fmt.Fprintf(&sb, "CTIME=%d\n", meta.Ctime)
+	return []byte(sb.String())
+}
+
+func renderScriptMetadata(path string, meta procfs.FileMeta) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "EXE=%s\n", path)
+	fmt.Fprintf(&sb, "CATEGORY=python-script\n")
+	fmt.Fprintf(&sb, "INODE=%d\n", meta.Inode)
+	fmt.Fprintf(&sb, "SIZE=%d\n", meta.Size)
+	fmt.Fprintf(&sb, "MODE=%o\n", meta.Mode)
+	fmt.Fprintf(&sb, "MTIME=%d\n", meta.Mtime)
+	return []byte(sb.String())
+}
+
+// BinaryReport is the static-analysis result for one executable image.
+type BinaryReport struct {
+	Compilers []string // .comment records
+	Needed    []string // DT_NEEDED sonames
+	Symbols   []string // global symbol names
+	FileH     string   // fuzzy hash of the raw image
+	StringsH  string   // fuzzy hash of the printable-strings dump
+	SymbolsH  string   // fuzzy hash of the global-symbol dump
+}
+
+// ScanBinary statically analyses an ELF image: the shared core between the
+// simulation hook and the real-host siren-scan tool.
+func ScanBinary(img []byte) (*BinaryReport, error) {
+	f, err := elfx.Parse(img)
+	if err != nil {
+		return nil, err
+	}
+	rep := &BinaryReport{
+		Compilers: f.Comment(),
+		Needed:    f.Needed(),
+	}
+	if rep.FileH, err = ssdeep.Hash(img); err != nil {
+		return nil, err
+	}
+	if rep.StringsH, err = ssdeep.Hash(strescan.Dump(img)); err != nil {
+		return nil, err
+	}
+	symDump, err := f.SymbolDump()
+	if err != nil {
+		return nil, err
+	}
+	if rep.SymbolsH, err = ssdeep.Hash(symDump); err != nil {
+		return nil, err
+	}
+	if rep.Symbols, err = f.GlobalSymbolNames(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

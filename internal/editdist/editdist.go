@@ -1,0 +1,200 @@
+// Package editdist implements string edit distances used by the SIREN
+// fuzzy-hash comparison layer.
+//
+// Three families are provided:
+//
+//   - Levenshtein: insertions, deletions, substitutions, unit cost.
+//   - Damerau–Levenshtein (optimal string alignment, OSA): Levenshtein plus
+//     transposition of two adjacent characters, unit cost. This is the
+//     distance the SIREN paper names for SSDeep digest comparison.
+//   - Weighted: insert/delete cost 1, substitution cost 2 — the distance used
+//     by the reference ssdeep implementation (a substitution is modelled as a
+//     delete followed by an insert).
+//
+// All functions operate on byte strings because SSDeep digests are ASCII
+// (base64 alphabet); multi-byte runes never occur in digests.
+package editdist
+
+// Levenshtein returns the classic edit distance between a and b: the minimum
+// number of single-byte insertions, deletions, or substitutions required to
+// transform a into b.
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	// Keep the shorter string in the inner dimension to bound memory.
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := 0; j <= len(b); j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		ca := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if ca == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// DamerauLevenshtein returns the optimal-string-alignment variant of the
+// Damerau–Levenshtein distance between a and b: the minimum number of
+// insertions, deletions, substitutions, or transpositions of two adjacent
+// bytes, where no substring is edited more than once.
+func DamerauLevenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	// Three rolling rows: i-2, i-1, i.
+	row2 := make([]int, len(b)+1)
+	row1 := make([]int, len(b)+1)
+	row0 := make([]int, len(b)+1)
+	for j := 0; j <= len(b); j++ {
+		row1[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		row0[0] = i
+		ca := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if ca == b[j-1] {
+				cost = 0
+			}
+			d := min3(row1[j]+1, row0[j-1]+1, row1[j-1]+cost)
+			if i > 1 && j > 1 && ca == b[j-2] && a[i-2] == b[j-1] {
+				if t := row2[j-2] + 1; t < d {
+					d = t
+				}
+			}
+			row0[j] = d
+		}
+		row2, row1, row0 = row1, row0, row2
+	}
+	return row1[len(b)]
+}
+
+// Weighted returns the edit distance with insert and delete cost 1 and
+// substitution cost 2, matching the reference ssdeep edit_distn weights.
+// With these weights a substitution never beats the equivalent
+// delete-then-insert, so the distance equals len(a)+len(b)-2*LCS(a,b).
+func Weighted(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := 0; j <= len(b); j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		ca := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cost := 2
+			if ca == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// LongestCommonSubstring returns the length of the longest contiguous
+// substring common to a and b.
+func LongestCommonSubstring(a, b string) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	best := 0
+	for i := 1; i <= len(a); i++ {
+		ca := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			if ca == b[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > best {
+					best = cur[j]
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return best
+}
+
+// HasCommonSubstring reports whether a and b share a contiguous substring of
+// at least n bytes. It is the gate the ssdeep comparison applies (n = 7,
+// the rolling-hash window) before computing an edit distance, to suppress
+// coincidental low-distance matches between short digests.
+//
+// The implementation indexes all n-grams of a in a set and probes b's
+// n-grams, which is O(len(a)+len(b)) expected time.
+func HasCommonSubstring(a, b string, n int) bool {
+	if n <= 0 {
+		return true
+	}
+	if len(a) < n || len(b) < n {
+		return false
+	}
+	grams := make(map[string]struct{}, len(a)-n+1)
+	for i := 0; i+n <= len(a); i++ {
+		grams[a[i:i+n]] = struct{}{}
+	}
+	for i := 0; i+n <= len(b); i++ {
+		if _, ok := grams[b[i:i+n]]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

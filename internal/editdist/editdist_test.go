@@ -1,0 +1,262 @@
+package editdist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"intention", "execution", 5},
+		{"a", "b", 1},
+		{"ab", "ba", 2}, // plain Levenshtein counts a transposition as 2
+		{"gumbo", "gambol", 2},
+		{"saturday", "sunday", 3},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDamerauLevenshteinKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"ab", "ba", 1}, // single transposition
+		{"abcd", "acbd", 1},
+		{"ca", "abc", 3}, // OSA cannot reuse edited substrings
+		{"kitten", "sitting", 3},
+		{"abcdef", "abcdfe", 1},
+		{"banana", "banaan", 1},
+	}
+	for _, c := range cases {
+		if got := DamerauLevenshtein(c.a, c.b); got != c.want {
+			t.Errorf("DamerauLevenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestWeightedKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "ab", 2},
+		{"abc", "abc", 0},
+		{"a", "b", 2},       // substitution costs 2
+		{"ab", "ba", 2},     // delete+insert
+		{"abc", "axc", 2},   // one substitution
+		{"abcd", "bcde", 2}, // drop 'a', add 'e'
+	}
+	for _, c := range cases {
+		if got := Weighted(c.a, c.b); got != c.want {
+			t.Errorf("Weighted(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestWeightedEqualsLCSFormula(t *testing.T) {
+	// With ins=del=1, sub=2, distance == len(a)+len(b)-2*LCSubsequence(a,b).
+	lcs := func(a, b string) int {
+		prev := make([]int, len(b)+1)
+		cur := make([]int, len(b)+1)
+		for i := 1; i <= len(a); i++ {
+			for j := 1; j <= len(b); j++ {
+				if a[i-1] == b[j-1] {
+					cur[j] = prev[j-1] + 1
+				} else if prev[j] >= cur[j-1] {
+					cur[j] = prev[j]
+				} else {
+					cur[j] = cur[j-1]
+				}
+			}
+			prev, cur = cur, prev
+			for k := range cur {
+				cur[k] = 0
+			}
+		}
+		return prev[len(b)]
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a := randomDigest(rng, rng.Intn(40))
+		b := randomDigest(rng, rng.Intn(40))
+		want := len(a) + len(b) - 2*lcs(a, b)
+		if got := Weighted(a, b); got != want {
+			t.Fatalf("Weighted(%q,%q) = %d, want %d (LCS formula)", a, b, got, want)
+		}
+	}
+}
+
+func randomDigest(rng *rand.Rand, n int) string {
+	const alpha = "ABCDEFab01+/"
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alpha[rng.Intn(len(alpha))])
+	}
+	return sb.String()
+}
+
+// Metric laws over short random strings.
+
+func TestMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	dists := map[string]func(a, b string) int{
+		"levenshtein": Levenshtein,
+		"damerau":     DamerauLevenshtein,
+		"weighted":    Weighted,
+	}
+	for name, d := range dists {
+		for i := 0; i < 400; i++ {
+			a := randomDigest(rng, rng.Intn(24))
+			b := randomDigest(rng, rng.Intn(24))
+			c := randomDigest(rng, rng.Intn(24))
+			if d(a, a) != 0 {
+				t.Fatalf("%s: d(a,a) != 0 for %q", name, a)
+			}
+			if d(a, b) != d(b, a) {
+				t.Fatalf("%s: not symmetric for %q,%q", name, a, b)
+			}
+			if a != b && d(a, b) <= 0 {
+				t.Fatalf("%s: d(a,b) <= 0 for distinct %q,%q", name, a, b)
+			}
+			if d(a, c) > d(a, b)+d(b, c) {
+				t.Fatalf("%s: triangle inequality violated for %q,%q,%q", name, a, b, c)
+			}
+		}
+	}
+}
+
+func TestDamerauNeverExceedsLevenshtein(t *testing.T) {
+	f := func(a, b []byte) bool {
+		sa, sb := clampASCII(a), clampASCII(b)
+		return DamerauLevenshtein(sa, sb) <= Levenshtein(sa, sb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevenshteinBounds(t *testing.T) {
+	f := func(a, b []byte) bool {
+		sa, sb := clampASCII(a), clampASCII(b)
+		d := Levenshtein(sa, sb)
+		lo := len(sa) - len(sb)
+		if lo < 0 {
+			lo = -lo
+		}
+		hi := len(sa)
+		if len(sb) > hi {
+			hi = len(sb)
+		}
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clampASCII(b []byte) string {
+	if len(b) > 32 {
+		b = b[:32]
+	}
+	out := make([]byte, len(b))
+	for i, c := range b {
+		out[i] = 'A' + c%26
+	}
+	return string(out)
+}
+
+func TestLongestCommonSubstring(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 0},
+		{"abc", "abc", 3},
+		{"xabcy", "zabcw", 3},
+		{"abcdef", "zcdefq", 4},
+		{"aaaa", "aa", 2},
+		{"abc", "def", 0},
+	}
+	for _, c := range cases {
+		if got := LongestCommonSubstring(c.a, c.b); got != c.want {
+			t.Errorf("LongestCommonSubstring(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHasCommonSubstring(t *testing.T) {
+	if !HasCommonSubstring("abcdefgh", "xxabcdefgxx", 7) {
+		t.Error("expected common 7-substring")
+	}
+	if HasCommonSubstring("abcdefg", "abcdefX", 7) {
+		t.Error("unexpected common 7-substring")
+	}
+	if !HasCommonSubstring("", "", 0) {
+		t.Error("n=0 must always match")
+	}
+	if HasCommonSubstring("short", "short", 7) {
+		// strings shorter than n can never share an n-substring
+		t.Error("short strings cannot share a 7-substring")
+	}
+}
+
+func TestHasCommonSubstringAgreesWithLCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		a := randomDigest(rng, rng.Intn(30))
+		b := randomDigest(rng, rng.Intn(30))
+		for _, n := range []int{1, 3, 7} {
+			want := LongestCommonSubstring(a, b) >= n
+			if got := HasCommonSubstring(a, b, n); got != want {
+				t.Fatalf("HasCommonSubstring(%q,%q,%d) = %v, want %v", a, b, n, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkLevenshtein64(b *testing.B) {
+	s1 := strings.Repeat("abcdefgh", 8)
+	s2 := strings.Repeat("abcdefgi", 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Levenshtein(s1, s2)
+	}
+}
+
+func BenchmarkDamerauLevenshtein64(b *testing.B) {
+	s1 := strings.Repeat("abcdefgh", 8)
+	s2 := strings.Repeat("abcdefgi", 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DamerauLevenshtein(s1, s2)
+	}
+}
+
+func BenchmarkWeighted64(b *testing.B) {
+	s1 := strings.Repeat("abcdefgh", 8)
+	s2 := strings.Repeat("abcdefgi", 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Weighted(s1, s2)
+	}
+}

@@ -1,0 +1,331 @@
+package elfx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Builder assembles an ELF64 image section by section. The zero value is not
+// usable; call NewBuilder. Typical use by the simulation substrate:
+//
+//	b := elfx.NewBuilder(elfx.ETDyn, elfx.EMX8664)
+//	b.SetText(code)
+//	b.SetComment("GCC: (SUSE Linux) 13.3.0")
+//	b.AddNeeded("libm.so.6")
+//	b.AddGlobalFunc("lmp_run_dynamics", 0x401000, 512)
+//	img, err := b.Bytes()
+type Builder struct {
+	typ     uint16
+	machine uint16
+	entry   uint64
+	osabi   byte
+
+	text    []byte
+	rodata  []byte
+	comment []string
+	needed  []string
+	soname  string
+	runpath string
+	symbols []Symbol
+	extra   []Section // additional caller-provided sections
+}
+
+// NewBuilder returns a Builder for the given object type (ETExec or ETDyn)
+// and machine (normally EMX8664).
+func NewBuilder(typ, machine uint16) *Builder {
+	return &Builder{typ: typ, machine: machine}
+}
+
+// SetEntry sets the entry-point address recorded in the header.
+func (b *Builder) SetEntry(addr uint64) { b.entry = addr }
+
+// SetOSABI sets the e_ident OSABI byte (default ELFOSABINone).
+func (b *Builder) SetOSABI(abi byte) { b.osabi = abi }
+
+// SetText sets the contents of the .text section.
+func (b *Builder) SetText(code []byte) { b.text = code }
+
+// SetRodata sets the contents of the .rodata section; this is where the
+// synthetic toolchain places the printable strings that STRINGS_H captures.
+func (b *Builder) SetRodata(data []byte) { b.rodata = data }
+
+// SetComment replaces the compiler identification strings stored in the
+// .comment section. Real compilers append one NUL-terminated record each;
+// linked objects accumulate several.
+func (b *Builder) SetComment(tags ...string) { b.comment = append([]string(nil), tags...) }
+
+// AddComment appends one compiler identification string.
+func (b *Builder) AddComment(tag string) { b.comment = append(b.comment, tag) }
+
+// AddNeeded appends a DT_NEEDED entry naming a required shared library.
+// Duplicates are preserved in order, as real link editors emit them.
+func (b *Builder) AddNeeded(lib string) { b.needed = append(b.needed, lib) }
+
+// SetSoname records a DT_SONAME entry (for shared objects).
+func (b *Builder) SetSoname(name string) { b.soname = name }
+
+// SetRunpath records a DT_RUNPATH entry.
+func (b *Builder) SetRunpath(path string) { b.runpath = path }
+
+// AddSymbol appends a symbol-table entry.
+func (b *Builder) AddSymbol(sym Symbol) { b.symbols = append(b.symbols, sym) }
+
+// AddGlobalFunc is shorthand for a global STT_FUNC symbol in section 1.
+func (b *Builder) AddGlobalFunc(name string, value, size uint64) {
+	b.AddSymbol(Symbol{Name: name, Binding: STBGlobal, Type: STTFunc, Section: 1, Value: value, Size: size})
+}
+
+// AddGlobalObject is shorthand for a global STT_OBJECT symbol.
+func (b *Builder) AddGlobalObject(name string, value, size uint64) {
+	b.AddSymbol(Symbol{Name: name, Binding: STBGlobal, Type: STTObject, Section: 1, Value: value, Size: size})
+}
+
+// AddLocalFunc is shorthand for a local (static) STT_FUNC symbol — invisible
+// to SIREN's global-symbol extraction, used in tests to verify the filter.
+func (b *Builder) AddLocalFunc(name string, value, size uint64) {
+	b.AddSymbol(Symbol{Name: name, Binding: STBLocal, Type: STTFunc, Section: 1, Value: value, Size: size})
+}
+
+// AddSection appends an arbitrary extra section (name must not collide with
+// the sections the builder manages itself).
+func (b *Builder) AddSection(s Section) { b.extra = append(b.extra, s) }
+
+// managedNames are section names the builder synthesises; extra sections may
+// not reuse them.
+var managedNames = map[string]bool{
+	"": true, ".text": true, ".rodata": true, ".comment": true,
+	".dynstr": true, ".dynamic": true, ".symtab": true, ".strtab": true,
+	".shstrtab": true,
+}
+
+// Bytes serialises the image. The layout is:
+//
+//	ELF header | section data (8-aligned) | section header table
+//
+// No program headers are emitted: SIREN only ever parses the section view,
+// and debug/elf accepts a zero program-header table.
+func (b *Builder) Bytes() ([]byte, error) {
+	for _, s := range b.extra {
+		if managedNames[s.Name] {
+			return nil, fmt.Errorf("elfx: extra section name %q is managed by the builder", s.Name)
+		}
+	}
+
+	type sec struct {
+		Section
+		body []byte
+	}
+	secs := []sec{{Section: Section{Name: "", Type: SHTNull}}}
+
+	addBody := func(s Section, body []byte) {
+		s.Size = uint64(len(body))
+		secs = append(secs, sec{Section: s, body: body})
+	}
+
+	if b.text == nil {
+		// Always emit .text so symbol section indexes have a target.
+		b.text = []byte{0xC3} // ret
+	}
+	addBody(Section{Name: ".text", Type: SHTProgbits, Flags: SHFAlloc | SHFExecinstr, Addr: 0x401000, Align: 16}, b.text)
+	if b.rodata != nil {
+		addBody(Section{Name: ".rodata", Type: SHTProgbits, Flags: SHFAlloc, Addr: 0x402000, Align: 8}, b.rodata)
+	}
+	if len(b.comment) > 0 {
+		addBody(Section{Name: ".comment", Type: SHTProgbits, Flags: SHFMerge | SHFStrings, Align: 1, EntSize: 1},
+			nulJoin(b.comment))
+	}
+
+	// Dynamic string table + dynamic section.
+	if len(b.needed) > 0 || b.soname != "" || b.runpath != "" {
+		dynstr := newStrtab()
+		var dyn []DynEntry
+		for _, n := range b.needed {
+			dyn = append(dyn, DynEntry{Tag: DTNeeded, Val: uint64(dynstr.add(n))})
+		}
+		if b.soname != "" {
+			dyn = append(dyn, DynEntry{Tag: DTSoname, Val: uint64(dynstr.add(b.soname))})
+		}
+		if b.runpath != "" {
+			dyn = append(dyn, DynEntry{Tag: DTRunpath, Val: uint64(dynstr.add(b.runpath))})
+		}
+		dyn = append(dyn, DynEntry{Tag: DTNull})
+
+		addBody(Section{Name: ".dynstr", Type: SHTStrtab, Flags: SHFAlloc, Align: 1}, dynstr.bytes())
+		dynstrIdx := len(secs) - 1
+		dynBody := make([]byte, 0, len(dyn)*DynEntrySize)
+		for _, e := range dyn {
+			dynBody = binary.LittleEndian.AppendUint64(dynBody, e.Tag)
+			dynBody = binary.LittleEndian.AppendUint64(dynBody, e.Val)
+		}
+		addBody(Section{Name: ".dynamic", Type: SHTDynamic, Flags: SHFAlloc | SHFWrite,
+			Align: 8, EntSize: DynEntrySize, Link: uint32(dynstrIdx)}, dynBody)
+	}
+
+	// Symbol table: null symbol first, then locals, then globals (sh_info =
+	// index of first non-local, as the spec requires).
+	if len(b.symbols) > 0 {
+		ordered := make([]Symbol, len(b.symbols))
+		copy(ordered, b.symbols)
+		sort.SliceStable(ordered, func(i, j int) bool {
+			return ordered[i].Binding == STBLocal && ordered[j].Binding != STBLocal
+		})
+		firstGlobal := len(ordered) + 1
+		for i, s := range ordered {
+			if s.Binding != STBLocal {
+				firstGlobal = i + 1 // +1 for the null symbol
+				break
+			}
+		}
+		strtab := newStrtab()
+		symBody := make([]byte, 0, (len(ordered)+1)*SymbolSize)
+		symBody = append(symBody, make([]byte, SymbolSize)...) // null symbol
+		for _, s := range ordered {
+			off := strtab.add(s.Name)
+			var ent [SymbolSize]byte
+			binary.LittleEndian.PutUint32(ent[0:4], uint32(off))
+			ent[4] = s.Binding<<4 | s.Type&0xF
+			ent[5] = 0
+			binary.LittleEndian.PutUint16(ent[6:8], s.Section)
+			binary.LittleEndian.PutUint64(ent[8:16], s.Value)
+			binary.LittleEndian.PutUint64(ent[16:24], s.Size)
+			symBody = append(symBody, ent[:]...)
+		}
+		addBody(Section{Name: ".strtab", Type: SHTStrtab, Align: 1}, strtab.bytes())
+		strtabIdx := len(secs) - 1
+		addBody(Section{Name: ".symtab", Type: SHTSymtab, Align: 8, EntSize: SymbolSize,
+			Link: uint32(strtabIdx), Info: uint32(firstGlobal)}, symBody)
+	}
+
+	for _, s := range b.extra {
+		addBody(s, s.Data)
+	}
+
+	// Section-name string table, last.
+	shstr := newStrtab()
+	for i := range secs {
+		shstr.add(secs[i].Name)
+	}
+	shstr.add(".shstrtab")
+	addBody(Section{Name: ".shstrtab", Type: SHTStrtab, Align: 1}, shstr.bytes())
+	shstrndx := len(secs) - 1
+
+	// Lay out bodies after the header.
+	offset := uint64(HeaderSize)
+	for i := range secs {
+		if secs[i].Type == SHTNull || secs[i].Type == SHTNobits {
+			continue
+		}
+		align := secs[i].Align
+		if align == 0 {
+			align = 8
+		}
+		offset = alignUp(offset, align)
+		secs[i].Offset = offset
+		offset += uint64(len(secs[i].body))
+	}
+	shoff := alignUp(offset, 8)
+
+	total := shoff + uint64(len(secs))*SectionHeaderSize
+	out := make([]byte, total)
+
+	// ELF header.
+	out[EIMag0] = ELFMag0
+	out[EIMag1] = ELFMag1
+	out[EIMag2] = ELFMag2
+	out[EIMag3] = ELFMag3
+	out[EIClass] = ELFClass64
+	out[EIData] = ELFData2LSB
+	out[EIVersion] = EVCurrent
+	out[EIOSABI] = b.osabi
+	le := binary.LittleEndian
+	le.PutUint16(out[16:18], b.typ)
+	le.PutUint16(out[18:20], b.machine)
+	le.PutUint32(out[20:24], EVCurrent)
+	le.PutUint64(out[24:32], b.entry)
+	le.PutUint64(out[32:40], 0) // e_phoff
+	le.PutUint64(out[40:48], shoff)
+	le.PutUint32(out[48:52], 0)          // e_flags
+	le.PutUint16(out[52:54], HeaderSize) // e_ehsize
+	le.PutUint16(out[54:56], 0)          // e_phentsize
+	le.PutUint16(out[56:58], 0)          // e_phnum
+	le.PutUint16(out[58:60], SectionHeaderSize)
+	le.PutUint16(out[60:62], uint16(len(secs)))
+	le.PutUint16(out[62:64], uint16(shstrndx))
+
+	// Section bodies.
+	for i := range secs {
+		if secs[i].Offset != 0 {
+			copy(out[secs[i].Offset:], secs[i].body)
+		}
+	}
+
+	// Section header table.
+	for i := range secs {
+		base := shoff + uint64(i)*SectionHeaderSize
+		sh := out[base : base+SectionHeaderSize]
+		le.PutUint32(sh[0:4], uint32(shstr.offset(secs[i].Name)))
+		le.PutUint32(sh[4:8], secs[i].Type)
+		le.PutUint64(sh[8:16], secs[i].Flags)
+		le.PutUint64(sh[16:24], secs[i].Addr)
+		le.PutUint64(sh[24:32], secs[i].Offset)
+		le.PutUint64(sh[32:40], uint64(len(secs[i].body)))
+		le.PutUint32(sh[40:44], secs[i].Link)
+		le.PutUint32(sh[44:48], secs[i].Info)
+		align := secs[i].Align
+		if align == 0 && secs[i].Type != SHTNull {
+			align = 8
+		}
+		le.PutUint64(sh[48:56], align)
+		le.PutUint64(sh[56:64], secs[i].EntSize)
+	}
+
+	return out, nil
+}
+
+// strtab builds a string table with offset reuse for repeated strings.
+type strtab struct {
+	buf     []byte
+	offsets map[string]int
+}
+
+func newStrtab() *strtab {
+	return &strtab{buf: []byte{0}, offsets: map[string]int{"": 0}}
+}
+
+func (st *strtab) add(s string) int {
+	if off, ok := st.offsets[s]; ok {
+		return off
+	}
+	off := len(st.buf)
+	st.buf = append(st.buf, s...)
+	st.buf = append(st.buf, 0)
+	st.offsets[s] = off
+	return off
+}
+
+func (st *strtab) offset(s string) int {
+	if off, ok := st.offsets[s]; ok {
+		return off
+	}
+	return 0
+}
+
+func (st *strtab) bytes() []byte { return st.buf }
+
+func nulJoin(ss []string) []byte {
+	var sb strings.Builder
+	for _, s := range ss {
+		sb.WriteString(s)
+		sb.WriteByte(0)
+	}
+	return []byte(sb.String())
+}
+
+func alignUp(v, align uint64) uint64 {
+	if align <= 1 {
+		return v
+	}
+	return (v + align - 1) &^ (align - 1)
+}

@@ -1,0 +1,161 @@
+// Package elfx implements a self-contained ELF64 object builder and reader.
+//
+// SIREN's C implementation uses libelf to pull three things out of an
+// executable: the compiler identification strings in the .comment section,
+// the externally visible (global) symbols, and the DT_NEEDED shared-library
+// entries. This package provides a reader exposing exactly those fields —
+// plus a writer used by the simulation substrate to synthesise realistic
+// executables (the campaign generator compiles synthetic applications into
+// genuine ELF images whose parsed content round-trips).
+//
+// Only little-endian ELF64 is supported, matching the AMD EPYC nodes of the
+// paper's LUMI deployment. Files produced by Builder are parseable both by
+// this package and by the Go standard library's debug/elf (cross-checked in
+// tests).
+package elfx
+
+// Indexes and values in the ELF identification array (e_ident).
+const (
+	EIMag0       = 0
+	EIMag1       = 1
+	EIMag2       = 2
+	EIMag3       = 3
+	EIClass      = 4
+	EIData       = 5
+	EIVersion    = 6
+	EIOSABI      = 7
+	EIABIVersion = 8
+	EINIdent     = 16
+
+	ELFMag0 = 0x7F
+	ELFMag1 = 'E'
+	ELFMag2 = 'L'
+	ELFMag3 = 'F'
+
+	ELFClass64    = 2
+	ELFData2LSB   = 1
+	EVCurrent     = 1
+	ELFOSABINone  = 0
+	ELFOSABILinux = 3
+)
+
+// Object file types (e_type).
+const (
+	ETNone = 0
+	ETRel  = 1
+	ETExec = 2
+	ETDyn  = 3
+)
+
+// Machine architectures (e_machine).
+const (
+	EMX8664   = 62  // AMD x86-64
+	EMAArch64 = 183 // ARM 64-bit
+)
+
+// Section header types (sh_type).
+const (
+	SHTNull     = 0
+	SHTProgbits = 1
+	SHTSymtab   = 2
+	SHTStrtab   = 3
+	SHTHash     = 5
+	SHTDynamic  = 6
+	SHTNote     = 7
+	SHTNobits   = 8
+	SHTDynsym   = 11
+)
+
+// Section header flags (sh_flags).
+const (
+	SHFWrite     = 0x1
+	SHFAlloc     = 0x2
+	SHFExecinstr = 0x4
+	SHFMerge     = 0x10
+	SHFStrings   = 0x20
+)
+
+// Symbol bindings (high nibble of st_info).
+const (
+	STBLocal  = 0
+	STBGlobal = 1
+	STBWeak   = 2
+)
+
+// Symbol types (low nibble of st_info).
+const (
+	STTNotype = 0
+	STTObject = 1
+	STTFunc   = 2
+)
+
+// Special section indexes for st_shndx.
+const (
+	SHNUndef = 0
+	SHNAbs   = 0xFFF1
+)
+
+// Dynamic table tags (d_tag).
+const (
+	DTNull    = 0
+	DTNeeded  = 1
+	DTStrtab  = 5
+	DTSoname  = 14
+	DTRunpath = 29
+)
+
+// Sizes of on-disk structures.
+const (
+	HeaderSize        = 64
+	SectionHeaderSize = 64
+	SymbolSize        = 24
+	DynEntrySize      = 16
+)
+
+// Header is the parsed ELF64 file header (the fields SIREN cares about).
+type Header struct {
+	Class      byte
+	Data       byte
+	OSABI      byte
+	Type       uint16
+	Machine    uint16
+	Version    uint32
+	Entry      uint64
+	Flags      uint32
+	SectionNum int
+}
+
+// Section is one section with its resolved name and raw contents.
+type Section struct {
+	Name    string
+	Type    uint32
+	Flags   uint64
+	Addr    uint64
+	Offset  uint64
+	Size    uint64
+	Link    uint32
+	Info    uint32
+	Align   uint64
+	EntSize uint64
+	Data    []byte // nil for SHT_NOBITS
+}
+
+// Symbol is one symbol-table entry.
+type Symbol struct {
+	Name    string
+	Binding byte   // STBLocal, STBGlobal, STBWeak
+	Type    byte   // STTNotype, STTObject, STTFunc
+	Section uint16 // section index or SHNUndef/SHNAbs
+	Value   uint64
+	Size    uint64
+}
+
+// Global reports whether the symbol has external (non-static) linkage —
+// the symbols SIREN feeds into the SYMBOLS_H fuzzy hash.
+func (s Symbol) Global() bool { return s.Binding == STBGlobal || s.Binding == STBWeak }
+
+// DynEntry is one .dynamic table entry.
+type DynEntry struct {
+	Tag uint64
+	Val uint64
+}

@@ -1,0 +1,61 @@
+package elfx
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzParse: Parse must never panic or over-read on arbitrary input, and
+// any file it accepts must support the full extraction surface without
+// errors or panics.
+func FuzzParse(f *testing.F) {
+	b := NewBuilder(ETDyn, EMX8664)
+	b.SetComment("GCC: (SUSE Linux) 13.3.0")
+	b.AddNeeded("libm.so.6")
+	b.AddGlobalFunc("fn", 0x401000, 8)
+	img, err := b.Bytes()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(img)
+	f.Add([]byte{0x7F, 'E', 'L', 'F'})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Parse(data)
+		if err != nil {
+			return
+		}
+		file.Comment()
+		file.Needed()
+		file.Soname()
+		file.Dynamic()
+		if _, err := file.Symbols(); err == nil {
+			if _, err := file.GlobalSymbolNames(); err != nil {
+				t.Fatalf("GlobalSymbolNames after successful Symbols: %v", err)
+			}
+		}
+	})
+}
+
+// TestParseSurvivesBitFlips complements the fuzz target under plain
+// `go test`: corrupt valid images and require graceful handling.
+func TestParseSurvivesBitFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	img := buildSample(t)
+	for i := 0; i < 3000; i++ {
+		mutated := append([]byte(nil), img...)
+		for n := 1 + rng.Intn(8); n > 0; n-- {
+			mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+		}
+		file, err := Parse(mutated)
+		if err != nil {
+			continue
+		}
+		// Accepted images must not panic in any accessor.
+		file.Comment()
+		file.Needed()
+		file.Soname()
+		file.Dynamic()
+		file.Symbols()
+	}
+}

@@ -1,0 +1,313 @@
+// Package ldso simulates the Linux dynamic linker (ld.so): shared-library
+// resolution, transitive DT_NEEDED closure, LD_PRELOAD injection, and the
+// constructor/destructor hook points that SIREN's data collection rides on.
+//
+// The aspects of ld.so behaviour the SIREN paper depends on are modelled
+// faithfully:
+//
+//   - LD_LIBRARY_PATH directories are searched before the default system
+//     directories, so the *environment* decides which libtinfo a given bash
+//     process loads (the Table 4 "deviating shared libraries" effect).
+//   - LD_PRELOAD objects are loaded before everything else and their
+//     constructors run before main(); that is the siren.so injection point.
+//   - Statically linked executables never invoke the dynamic linker, so no
+//     preload — and therefore no data collection — happens (paper §2).
+//   - Inside a container the preload path is typically not mounted; the
+//     preload entry silently fails to resolve and the process runs
+//     unobserved (paper §3 "Requirements and Limitations").
+package ldso
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"siren/internal/elfx"
+	"siren/internal/procfs"
+)
+
+// DefaultSearchPath is the built-in search order used after LD_LIBRARY_PATH,
+// mirroring /etc/ld.so.conf on a typical HPE Cray EX image: the base system
+// directories plus the Cray PE and ROCm trees that the site drops into
+// ld.so.conf.d. Site/user software under /appl or /pfs is *not* here — it is
+// reachable only through module-set LD_LIBRARY_PATH, which is exactly what
+// makes Table 4's per-environment library deviations possible.
+var DefaultSearchPath = []string{
+	"/lib64", "/usr/lib64", "/usr/lib64/slurm",
+	"/opt/cray/pe/lib64", "/opt/cray/pe/gcc-libs", "/opt/cray/libfabric/lib64",
+	"/opt/cray/pe/pmi/lib", "/opt/cray/pe/libsci/lib", "/opt/cray/pe/netcdf/lib",
+	"/opt/cray/pe/cce/lib", "/opt/cray/pe/fftw/lib", "/opt/cray/pe/hdf5/lib",
+	"/opt/cray/pe/hdf5-parallel/lib", "/opt/cray/pe/parallel-netcdf/lib",
+	"/opt/rocm/lib",
+}
+
+// Library describes one shared object registered with the Cache.
+type Library struct {
+	Soname string   // e.g. "libtinfo.so.6"
+	Path   string   // full installed path
+	Needed []string // transitive dependencies, by soname
+	Size   uint64   // mapped size (for memory-map synthesis)
+}
+
+// Cache indexes installed libraries by soname and path, like ld.so.cache
+// plus the directory search. It is safe for concurrent use.
+type Cache struct {
+	mu     sync.RWMutex
+	byPath map[string]Library
+	byDir  map[string]map[string]Library // dir → soname → lib
+}
+
+// NewCache returns an empty library cache.
+func NewCache() *Cache {
+	return &Cache{byPath: make(map[string]Library), byDir: make(map[string]map[string]Library)}
+}
+
+// Register installs a library at lib.Path.
+func (c *Cache) Register(lib Library) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if lib.Size == 0 {
+		lib.Size = 0x21000
+	}
+	c.byPath[lib.Path] = lib
+	dir := dirOf(lib.Path)
+	if c.byDir[dir] == nil {
+		c.byDir[dir] = make(map[string]Library)
+	}
+	c.byDir[dir][lib.Soname] = lib
+}
+
+// ByPath resolves an exact path (used for LD_PRELOAD entries with slashes).
+func (c *Cache) ByPath(path string) (Library, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	l, ok := c.byPath[path]
+	return l, ok
+}
+
+// Resolve finds soname by walking searchPath in order, then the default
+// system directories — the ld.so search order.
+func (c *Cache) Resolve(soname string, searchPath []string) (Library, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, dir := range searchPath {
+		if l, ok := c.byDir[dir][soname]; ok {
+			return l, true
+		}
+	}
+	for _, dir := range DefaultSearchPath {
+		if l, ok := c.byDir[dir][soname]; ok {
+			return l, true
+		}
+	}
+	return Library{}, false
+}
+
+// Paths returns all registered library paths, sorted (for tests/reports).
+func (c *Cache) Paths() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.byPath))
+	for p := range c.byPath {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func dirOf(path string) string {
+	i := strings.LastIndexByte(path, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return path[:i]
+}
+
+// LinkResult is the outcome of "launching" an executable through the
+// dynamic linker.
+type LinkResult struct {
+	Static    bool            // true: the linker was never invoked
+	Preloaded []Library       // successfully injected LD_PRELOAD objects, in order
+	Loaded    []Library       // all loaded objects incl. preloads, load order
+	Missing   []string        // sonames that could not be resolved (lazy failure)
+	Maps      []procfs.Region // synthesised memory map
+	ExeFile   *elfx.File      // parsed executable image
+}
+
+// LoadedPaths returns the full paths of all loaded objects in load order —
+// the dl_iterate_phdr view siren.so records as OBJECTS.
+func (r *LinkResult) LoadedPaths() []string {
+	out := make([]string, 0, len(r.Loaded))
+	for _, l := range r.Loaded {
+		out = append(out, l.Path)
+	}
+	return out
+}
+
+// HasPreload reports whether an object with the given soname was injected.
+func (r *LinkResult) HasPreload(soname string) bool {
+	for _, l := range r.Preloaded {
+		if l.Soname == soname {
+			return true
+		}
+	}
+	return false
+}
+
+// Link simulates process start-up for the executable image at exePath:
+// parse the ELF, decide static vs dynamic, resolve LD_PRELOAD and the
+// DT_NEEDED closure using env's LD_LIBRARY_PATH, and synthesise the memory
+// map. Missing optional libraries are recorded, not fatal — like lazy
+// binding, the process may run fine until the symbol is needed.
+//
+// When the process is containerised, LD_PRELOAD entries whose path is not
+// visible inside the container (i.e. not marked with a container-visible
+// prefix) fail to resolve, matching the paper's limitation that siren.so is
+// not mounted into containers.
+func Link(exeImage []byte, exePath string, env map[string]string, cache *Cache, fs *procfs.FS, container bool) (*LinkResult, error) {
+	f, err := elfx.Parse(exeImage)
+	if err != nil {
+		return nil, fmt.Errorf("ldso: %s: %w", exePath, err)
+	}
+	res := &LinkResult{ExeFile: f}
+
+	needed := f.Needed()
+	if f.SectionByType(elfx.SHTDynamic) == nil {
+		// Static binary: the kernel maps it and jumps to the entry point;
+		// ld.so — and any preload — never runs.
+		res.Static = true
+		res.Maps = synthMaps(exePath, uint64(len(exeImage)), nil, fs)
+		return res, nil
+	}
+
+	searchPath := splitPathList(env["LD_LIBRARY_PATH"])
+
+	loaded := make(map[string]bool) // by path
+	var order []Library
+
+	load := func(lib Library) {
+		if loaded[lib.Path] {
+			return
+		}
+		loaded[lib.Path] = true
+		order = append(order, lib)
+	}
+
+	// LD_PRELOAD first: entries are paths (with '/') or sonames.
+	for _, entry := range splitPreload(env["LD_PRELOAD"]) {
+		var lib Library
+		var ok bool
+		if strings.ContainsRune(entry, '/') {
+			lib, ok = cache.ByPath(entry)
+			if ok && container && !containerVisible(entry) {
+				ok = false // path not mounted inside the container
+			}
+		} else {
+			lib, ok = cache.Resolve(entry, searchPath)
+		}
+		if !ok {
+			// ld.so warns and continues: "object ... cannot be preloaded".
+			res.Missing = append(res.Missing, entry)
+			continue
+		}
+		res.Preloaded = append(res.Preloaded, lib)
+		load(lib)
+		// Preloaded objects drag in their own dependencies.
+		needed = append(lib.Needed, needed...)
+	}
+
+	// Breadth-first DT_NEEDED closure.
+	queue := append([]string(nil), needed...)
+	seenSoname := make(map[string]bool)
+	for len(queue) > 0 {
+		so := queue[0]
+		queue = queue[1:]
+		if so == "" || seenSoname[so] {
+			continue
+		}
+		seenSoname[so] = true
+		lib, ok := cache.Resolve(so, searchPath)
+		if !ok {
+			res.Missing = append(res.Missing, so)
+			continue
+		}
+		load(lib)
+		queue = append(queue, lib.Needed...)
+	}
+
+	res.Loaded = order
+	res.Maps = synthMaps(exePath, uint64(len(exeImage)), order, fs)
+	return res, nil
+}
+
+// containerVisible reports whether a host path is visible inside the
+// simulated container: only paths under /usr and /opt/app (the image's own
+// content) are; site paths like /appl or /opt/siren are not mounted.
+func containerVisible(path string) bool {
+	return strings.HasPrefix(path, "/usr/") || strings.HasPrefix(path, "/opt/app/")
+}
+
+// synthMaps builds a /proc/self/maps-like view: the executable's segments,
+// then each loaded object, then heap/stack pseudo-entries.
+func synthMaps(exePath string, exeSize uint64, libs []Library, fs *procfs.FS) []procfs.Region {
+	var out []procfs.Region
+	inodeOf := func(path string) uint64 {
+		if fs == nil {
+			return 0
+		}
+		if meta, err := fs.Stat(path); err == nil {
+			return meta.Inode
+		}
+		return 0
+	}
+	if exeSize < 0x1000 {
+		exeSize = 0x1000
+	}
+	base := uint64(0x400000)
+	out = append(out,
+		procfs.Region{Start: base, End: base + exeSize, Perms: "r-xp", Dev: "fd:00", Inode: inodeOf(exePath), Path: exePath},
+		procfs.Region{Start: base + exeSize, End: base + exeSize + 0x1000, Perms: "rw-p", Dev: "fd:00", Inode: inodeOf(exePath), Path: exePath},
+	)
+	libBase := uint64(0x7f0000000000)
+	for _, l := range libs {
+		out = append(out,
+			procfs.Region{Start: libBase, End: libBase + l.Size, Perms: "r-xp", Dev: "fd:00", Inode: inodeOf(l.Path), Path: l.Path},
+			procfs.Region{Start: libBase + l.Size, End: libBase + l.Size + 0x1000, Perms: "rw-p", Dev: "fd:00", Inode: inodeOf(l.Path), Path: l.Path},
+		)
+		libBase += l.Size + 0x10000
+	}
+	out = append(out,
+		procfs.Region{Start: 0x7ffe00000000, End: 0x7ffe00100000, Perms: "rw-p", Path: "[heap]"},
+		procfs.Region{Start: 0x7fff00000000, End: 0x7fff00021000, Perms: "rw-p", Path: "[stack]"},
+	)
+	return out
+}
+
+func splitPathList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ":") {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// splitPreload splits LD_PRELOAD, which accepts both colons and spaces.
+func splitPreload(s string) []string {
+	if s == "" {
+		return nil
+	}
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ':' || r == ' ' })
+	var out []string
+	for _, f := range fields {
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package ldso
+
+import (
+	"reflect"
+	"testing"
+
+	"siren/internal/procfs"
+	"siren/internal/toolchain"
+)
+
+// testWorld builds a cache with two libtinfo variants, libc, libm, and
+// siren.so, plus a dynamic bash-like executable.
+func testWorld(t *testing.T) (*Cache, *procfs.FS, []byte) {
+	t.Helper()
+	cache := NewCache()
+	fs := procfs.NewFS()
+
+	install := func(lib Library) {
+		cache.Register(lib)
+		fs.Install(lib.Path, []byte("so:"+lib.Soname), procfs.FileMeta{})
+	}
+	install(Library{Soname: "libc.so.6", Path: "/lib64/libc.so.6"})
+	install(Library{Soname: "libm.so.6", Path: "/lib64/libm.so.6"})
+	install(Library{Soname: "libtinfo.so.6", Path: "/lib64/libtinfo.so.6"})
+	install(Library{Soname: "libtinfo.so.6", Path: "/appl/spack/libtinfo.so.6", Needed: []string{"libm.so.6"}})
+	install(Library{Soname: "siren.so", Path: "/opt/siren/lib/siren.so", Needed: []string{"libc.so.6"}})
+
+	art, err := toolchain.Compile(
+		toolchain.Source{Name: "bash", Version: "5.2", Functions: []string{"main", "readline_hook"}},
+		toolchain.BuildOptions{
+			Compilers: []toolchain.Compiler{toolchain.GCCSUSE},
+			Libraries: []string{"libtinfo.so.6", "libc.so.6"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Install("/usr/bin/bash", art.Binary, procfs.FileMeta{})
+	return cache, fs, art.Binary
+}
+
+func TestLinkDefaultSearchPath(t *testing.T) {
+	cache, fs, bash := testWorld(t)
+	res, err := Link(bash, "/usr/bin/bash", nil, cache, fs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Static {
+		t.Fatal("dynamic binary reported static")
+	}
+	want := []string{"/lib64/libtinfo.so.6", "/lib64/libc.so.6"}
+	if got := res.LoadedPaths(); !reflect.DeepEqual(got, want) {
+		t.Errorf("loaded = %q, want %q", got, want)
+	}
+	if len(res.Missing) != 0 {
+		t.Errorf("missing = %q", res.Missing)
+	}
+}
+
+func TestLDLibraryPathOverridesDefault(t *testing.T) {
+	cache, fs, bash := testWorld(t)
+	env := map[string]string{"LD_LIBRARY_PATH": "/appl/spack"}
+	res, err := Link(bash, "/usr/bin/bash", env, cache, fs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.LoadedPaths()
+	// The spack libtinfo wins, and drags in libm — the Table 4 deviation.
+	want := []string{"/appl/spack/libtinfo.so.6", "/lib64/libc.so.6", "/lib64/libm.so.6"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("loaded = %q, want %q", got, want)
+	}
+}
+
+func TestPreloadInjection(t *testing.T) {
+	cache, fs, bash := testWorld(t)
+	env := map[string]string{"LD_PRELOAD": "/opt/siren/lib/siren.so"}
+	res, err := Link(bash, "/usr/bin/bash", env, cache, fs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasPreload("siren.so") {
+		t.Fatal("siren.so not preloaded")
+	}
+	// Preload loads before everything else.
+	if res.Loaded[0].Soname != "siren.so" {
+		t.Errorf("load order = %q", res.LoadedPaths())
+	}
+}
+
+func TestPreloadMissingIsGraceful(t *testing.T) {
+	cache, fs, bash := testWorld(t)
+	env := map[string]string{"LD_PRELOAD": "/nonexistent/siren.so"}
+	res, err := Link(bash, "/usr/bin/bash", env, cache, fs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HasPreload("siren.so") {
+		t.Error("nonexistent preload should not inject")
+	}
+	if len(res.Missing) != 1 || res.Missing[0] != "/nonexistent/siren.so" {
+		t.Errorf("missing = %q", res.Missing)
+	}
+	// Process still links its real deps.
+	if len(res.Loaded) != 2 {
+		t.Errorf("loaded = %q", res.LoadedPaths())
+	}
+}
+
+func TestContainerHidesPreload(t *testing.T) {
+	cache, fs, bash := testWorld(t)
+	env := map[string]string{"LD_PRELOAD": "/opt/siren/lib/siren.so"}
+	res, err := Link(bash, "/usr/bin/bash", env, cache, fs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HasPreload("siren.so") {
+		t.Error("preload must not resolve inside a container (path not mounted)")
+	}
+	if len(res.Missing) == 0 {
+		t.Error("expected the preload recorded as missing")
+	}
+}
+
+func TestStaticBinarySkipsLinker(t *testing.T) {
+	cache, fs, _ := testWorld(t)
+	art, err := toolchain.Compile(
+		toolchain.Source{Name: "static-tool", Version: "1.0"},
+		toolchain.BuildOptions{Compilers: []toolchain.Compiler{toolchain.GCCSUSE}, Static: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := map[string]string{"LD_PRELOAD": "/opt/siren/lib/siren.so"}
+	res, err := Link(art.Binary, "/usr/bin/static-tool", env, cache, fs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Static {
+		t.Fatal("static binary not recognised")
+	}
+	if len(res.Preloaded) != 0 || len(res.Loaded) != 0 {
+		t.Error("static binary must load nothing through ld.so")
+	}
+}
+
+func TestMissingDependencyRecorded(t *testing.T) {
+	cache, fs, _ := testWorld(t)
+	art, err := toolchain.Compile(
+		toolchain.Source{Name: "app", Version: "1"},
+		toolchain.BuildOptions{
+			Compilers: []toolchain.Compiler{toolchain.GCCSUSE},
+			Libraries: []string{"libdoesnotexist.so.1", "libc.so.6"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Link(art.Binary, "/home/u/app", nil, cache, fs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Missing, []string{"libdoesnotexist.so.1"}) {
+		t.Errorf("missing = %q", res.Missing)
+	}
+	if got := res.LoadedPaths(); !reflect.DeepEqual(got, []string{"/lib64/libc.so.6"}) {
+		t.Errorf("loaded = %q", got)
+	}
+}
+
+func TestTransitiveClosureNoDuplicates(t *testing.T) {
+	cache := NewCache()
+	fs := procfs.NewFS()
+	cache.Register(Library{Soname: "libc.so.6", Path: "/lib64/libc.so.6"})
+	cache.Register(Library{Soname: "liba.so", Path: "/lib64/liba.so", Needed: []string{"libshared.so", "libc.so.6"}})
+	cache.Register(Library{Soname: "libb.so", Path: "/lib64/libb.so", Needed: []string{"libshared.so", "liba.so"}})
+	cache.Register(Library{Soname: "libshared.so", Path: "/lib64/libshared.so", Needed: []string{"libc.so.6"}})
+
+	art, err := toolchain.Compile(
+		toolchain.Source{Name: "app", Version: "1"},
+		toolchain.BuildOptions{
+			Compilers: []toolchain.Compiler{toolchain.GCCSUSE},
+			Libraries: []string{"liba.so", "libb.so"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Link(art.Binary, "/home/u/app", nil, cache, fs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/lib64/liba.so", "/lib64/libb.so", "/lib64/libshared.so", "/lib64/libc.so.6"}
+	if got := res.LoadedPaths(); !reflect.DeepEqual(got, want) {
+		t.Errorf("loaded = %q, want %q", got, want)
+	}
+}
+
+func TestMapsIncludeExecutableAndLibraries(t *testing.T) {
+	cache, fs, bash := testWorld(t)
+	res, err := Link(bash, "/usr/bin/bash", nil, cache, fs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := procfs.MappedPaths(res.Maps)
+	want := []string{"/usr/bin/bash", "/lib64/libtinfo.so.6", "/lib64/libc.so.6"}
+	if !reflect.DeepEqual(paths, want) {
+		t.Errorf("mapped paths = %q, want %q", paths, want)
+	}
+	// Maps text must parse back.
+	if _, err := procfs.ParseMaps(procfs.RenderMaps(res.Maps)); err != nil {
+		t.Errorf("maps do not round-trip: %v", err)
+	}
+	// Inodes must come from the filesystem.
+	if res.Maps[0].Inode == 0 {
+		t.Error("executable region lost its inode")
+	}
+}
+
+func TestPreloadSonameResolution(t *testing.T) {
+	cache, fs, bash := testWorld(t)
+	// A bare soname in LD_PRELOAD resolves through the search path.
+	cache.Register(Library{Soname: "libprofiler.so", Path: "/usr/lib64/libprofiler.so"})
+	env := map[string]string{"LD_PRELOAD": "libprofiler.so"}
+	res, err := Link(bash, "/usr/bin/bash", env, cache, fs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasPreload("libprofiler.so") {
+		t.Error("soname preload failed to resolve")
+	}
+}
+
+func TestSplitPreloadForms(t *testing.T) {
+	got := splitPreload("/a/b.so:libx.so /c/d.so")
+	if !reflect.DeepEqual(got, []string{"/a/b.so", "libx.so", "/c/d.so"}) {
+		t.Errorf("splitPreload = %q", got)
+	}
+	if splitPreload("") != nil {
+		t.Error("empty preload should be nil")
+	}
+}
+
+func TestCachePaths(t *testing.T) {
+	cache, _, _ := testWorld(t)
+	if got := len(cache.Paths()); got != 5 {
+		t.Errorf("Paths len = %d, want 5", got)
+	}
+}
+
+func BenchmarkLink(b *testing.B) {
+	cache := NewCache()
+	fs := procfs.NewFS()
+	cache.Register(Library{Soname: "libc.so.6", Path: "/lib64/libc.so.6"})
+	var libs []string
+	for i := 0; i < 30; i++ {
+		so := "lib" + string(rune('a'+i)) + ".so"
+		cache.Register(Library{Soname: so, Path: "/lib64/" + so, Needed: []string{"libc.so.6"}})
+		libs = append(libs, so)
+	}
+	art, err := toolchain.Compile(
+		toolchain.Source{Name: "app", Version: "1"},
+		toolchain.BuildOptions{Compilers: []toolchain.Compiler{toolchain.GCCSUSE}, Libraries: libs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Link(art.Binary, "/home/u/app", nil, cache, fs, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

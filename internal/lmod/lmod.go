@@ -1,0 +1,176 @@
+// Package lmod simulates an LMOD-style environment-module system.
+//
+// SIREN reads the LOADEDMODULES environment variable to record which modules
+// a process ran under, and the paper notes why modules alone are unreliable
+// identifiers: they load as dependencies of other modules, by default, or
+// from copy-pasted job scripts. This simulation reproduces those mechanics —
+// dependency auto-loading, default modules, environment mutation
+// (LD_LIBRARY_PATH prepends are how Cray PE wrappers redirect library
+// resolution) — so the collector sees realistic module state.
+package lmod
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Module describes one loadable module.
+type Module struct {
+	Name    string            // "cray-netcdf/4.9.0"
+	Deps    []string          // modules auto-loaded first
+	Setenv  map[string]string // environment variables set on load
+	Prepend map[string]string // path-style variables to prepend (LD_LIBRARY_PATH etc.)
+}
+
+// System is the site-wide module tree. It is immutable after construction
+// and safe for concurrent Session creation.
+type System struct {
+	mu       sync.RWMutex
+	modules  map[string]Module
+	defaults []string // modules loaded into every new session (e.g. craype)
+}
+
+// NewSystem returns an empty module tree.
+func NewSystem() *System {
+	return &System{modules: make(map[string]Module)}
+}
+
+// Add registers a module definition.
+func (s *System) Add(m Module) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.modules[m.Name] = m
+}
+
+// SetDefaults declares modules auto-loaded into every session.
+func (s *System) SetDefaults(names ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.defaults = append([]string(nil), names...)
+}
+
+// Available returns all module names, sorted.
+func (s *System) Available() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.modules))
+	for n := range s.modules {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookup fetches a module definition.
+func (s *System) lookup(name string) (Module, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.modules[name]
+	return m, ok
+}
+
+// Session is one user shell's module state. Sessions are not safe for
+// concurrent use (a shell is single-threaded).
+type Session struct {
+	sys    *System
+	loaded []string
+	env    map[string]string
+}
+
+// NewSession starts a session with the system defaults loaded.
+func (s *System) NewSession() (*Session, error) {
+	sess := &Session{sys: s, env: make(map[string]string)}
+	s.mu.RLock()
+	defaults := append([]string(nil), s.defaults...)
+	s.mu.RUnlock()
+	for _, d := range defaults {
+		if err := sess.Load(d); err != nil {
+			return nil, fmt.Errorf("lmod: loading default %s: %w", d, err)
+		}
+	}
+	return sess, nil
+}
+
+// ErrUnknownModule is wrapped by Load for unknown names.
+var ErrUnknownModule = fmt.Errorf("lmod: unknown module")
+
+// Load loads a module and (recursively) its dependencies. Loading an
+// already-loaded module is a no-op, as in LMOD.
+func (sess *Session) Load(name string) error {
+	if sess.IsLoaded(name) {
+		return nil
+	}
+	m, ok := sess.sys.lookup(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownModule, name)
+	}
+	for _, dep := range m.Deps {
+		if err := sess.Load(dep); err != nil {
+			return fmt.Errorf("lmod: dependency of %s: %w", name, err)
+		}
+	}
+	for k, v := range m.Setenv {
+		sess.env[k] = v
+	}
+	for k, v := range m.Prepend {
+		if cur := sess.env[k]; cur != "" {
+			sess.env[k] = v + ":" + cur
+		} else {
+			sess.env[k] = v
+		}
+	}
+	sess.loaded = append(sess.loaded, name)
+	return nil
+}
+
+// Unload removes a module (but not its dependencies — LMOD keeps those
+// unless purged, which is one reason module lists are noisy identifiers).
+func (sess *Session) Unload(name string) {
+	for i, n := range sess.loaded {
+		if n == name {
+			sess.loaded = append(sess.loaded[:i], sess.loaded[i+1:]...)
+			return
+		}
+	}
+}
+
+// IsLoaded reports whether name is currently loaded.
+func (sess *Session) IsLoaded(name string) bool {
+	for _, n := range sess.loaded {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Loaded returns the loaded module names in load order.
+func (sess *Session) Loaded() []string { return append([]string(nil), sess.loaded...) }
+
+// Env renders the session environment: module-set variables plus
+// LOADEDMODULES in the colon-joined form SIREN parses.
+func (sess *Session) Env() map[string]string {
+	out := make(map[string]string, len(sess.env)+1)
+	for k, v := range sess.env {
+		out[k] = v
+	}
+	out["LOADEDMODULES"] = strings.Join(sess.loaded, ":")
+	return out
+}
+
+// ParseLoadedModules splits a LOADEDMODULES value back into module names —
+// the post-processing inverse used by the analysis layer.
+func ParseLoadedModules(v string) []string {
+	if v == "" {
+		return nil
+	}
+	var out []string
+	for _, m := range strings.Split(v, ":") {
+		if m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}

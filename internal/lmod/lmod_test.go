@@ -1,0 +1,120 @@
+package lmod
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testSystem() *System {
+	s := NewSystem()
+	s.Add(Module{Name: "craype/2.7.30", Setenv: map[string]string{"CRAYPE_VERSION": "2.7.30"}})
+	s.Add(Module{Name: "PrgEnv-cray/8.5.0", Deps: []string{"craype/2.7.30", "cce/17.0.1"}})
+	s.Add(Module{Name: "cce/17.0.1", Prepend: map[string]string{"LD_LIBRARY_PATH": "/opt/cray/pe/cce/17.0.1/lib"}})
+	s.Add(Module{Name: "cray-netcdf/4.9.0", Deps: []string{"cray-hdf5/1.12.2"},
+		Prepend: map[string]string{"LD_LIBRARY_PATH": "/opt/cray/pe/netcdf/4.9.0/lib"}})
+	s.Add(Module{Name: "cray-hdf5/1.12.2", Prepend: map[string]string{"LD_LIBRARY_PATH": "/opt/cray/pe/hdf5/1.12.2/lib"}})
+	s.Add(Module{Name: "siren/1.0", Setenv: map[string]string{"LD_PRELOAD": "/opt/siren/lib/siren.so"}})
+	return s
+}
+
+func TestLoadWithDeps(t *testing.T) {
+	sess, err := testSystem().NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Load("PrgEnv-cray/8.5.0"); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"craype/2.7.30", "cce/17.0.1", "PrgEnv-cray/8.5.0"}
+	if got := sess.Loaded(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Loaded = %q, want %q", got, want)
+	}
+}
+
+func TestLoadIdempotent(t *testing.T) {
+	sess, _ := testSystem().NewSession()
+	sess.Load("cray-netcdf/4.9.0")
+	sess.Load("cray-netcdf/4.9.0")
+	if got := len(sess.Loaded()); got != 2 {
+		t.Errorf("loaded %d modules, want 2 (hdf5 dep + netcdf)", got)
+	}
+}
+
+func TestUnknownModule(t *testing.T) {
+	sess, _ := testSystem().NewSession()
+	if err := sess.Load("nope/1.0"); !errors.Is(err, ErrUnknownModule) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEnvRendering(t *testing.T) {
+	sess, _ := testSystem().NewSession()
+	sess.Load("cray-netcdf/4.9.0")
+	sess.Load("siren/1.0")
+	env := sess.Env()
+	if env["LOADEDMODULES"] != "cray-hdf5/1.12.2:cray-netcdf/4.9.0:siren/1.0" {
+		t.Errorf("LOADEDMODULES = %q", env["LOADEDMODULES"])
+	}
+	if env["LD_PRELOAD"] != "/opt/siren/lib/siren.so" {
+		t.Errorf("LD_PRELOAD = %q", env["LD_PRELOAD"])
+	}
+	// netcdf prepended after hdf5, so netcdf path comes first.
+	if !strings.HasPrefix(env["LD_LIBRARY_PATH"], "/opt/cray/pe/netcdf/4.9.0/lib:") {
+		t.Errorf("LD_LIBRARY_PATH = %q", env["LD_LIBRARY_PATH"])
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	s := testSystem()
+	s.SetDefaults("craype/2.7.30")
+	sess, err := s.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.IsLoaded("craype/2.7.30") {
+		t.Error("default module not loaded")
+	}
+	s.SetDefaults("missing/1")
+	if _, err := s.NewSession(); err == nil {
+		t.Error("missing default should fail session creation")
+	}
+}
+
+func TestUnloadKeepsDeps(t *testing.T) {
+	sess, _ := testSystem().NewSession()
+	sess.Load("cray-netcdf/4.9.0")
+	sess.Unload("cray-netcdf/4.9.0")
+	if sess.IsLoaded("cray-netcdf/4.9.0") {
+		t.Error("unload failed")
+	}
+	if !sess.IsLoaded("cray-hdf5/1.12.2") {
+		t.Error("dependency should survive unload (LMOD semantics)")
+	}
+}
+
+func TestParseLoadedModules(t *testing.T) {
+	got := ParseLoadedModules("a/1:b/2:c/3")
+	if !reflect.DeepEqual(got, []string{"a/1", "b/2", "c/3"}) {
+		t.Errorf("parse = %q", got)
+	}
+	if ParseLoadedModules("") != nil {
+		t.Error("empty should be nil")
+	}
+	if got := ParseLoadedModules("a/1::b/2"); !reflect.DeepEqual(got, []string{"a/1", "b/2"}) {
+		t.Errorf("double colon: %q", got)
+	}
+}
+
+func TestAvailableSorted(t *testing.T) {
+	got := testSystem().Available()
+	if len(got) != 6 {
+		t.Fatalf("Available = %q", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Errorf("not sorted: %q", got)
+		}
+	}
+}

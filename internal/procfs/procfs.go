@@ -1,0 +1,211 @@
+// Package procfs models the pieces of a Linux system that SIREN's data
+// collector reads: a file system holding executables and libraries with full
+// stat metadata, a process table with PID allocation and exec() semantics,
+// and /proc/<pid>/maps-style memory maps (both rendering and parsing).
+//
+// The real siren.so obtains the executable path from /proc/self/exe, process
+// identity from getpid()/getppid()/getuid()/getgid(), file metadata from
+// stat(2), and the memory map from /proc/self/maps. The simulation keeps
+// those access paths intact so the collector code is identical in simulated
+// and real-host modes.
+package procfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// FileMeta mirrors the stat(2) fields SIREN records for executables.
+type FileMeta struct {
+	Inode uint64
+	Size  int64
+	Mode  uint32 // permission bits, e.g. 0o755
+	UID   uint32 // owner
+	GID   uint32
+	Atime int64 // unix seconds
+	Mtime int64
+	Ctime int64
+}
+
+// File is one file in the simulated filesystem.
+type File struct {
+	Path string
+	Data []byte
+	Meta FileMeta
+}
+
+// FS is a flat, thread-safe simulated filesystem: path → file. Directories
+// are implicit (any path prefix ending in '/').
+type FS struct {
+	mu        sync.RWMutex
+	files     map[string]*File
+	nextInode uint64
+}
+
+// NewFS returns an empty filesystem.
+func NewFS() *FS {
+	return &FS{files: make(map[string]*File), nextInode: 1000}
+}
+
+// ErrNotExist is returned for missing paths.
+var ErrNotExist = errors.New("procfs: file does not exist")
+
+// Install writes a file. If meta.Inode is zero a fresh inode is allocated;
+// if meta.Size is zero it is set to len(data).
+func (fs *FS) Install(path string, data []byte, meta FileMeta) *File {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if meta.Inode == 0 {
+		fs.nextInode++
+		meta.Inode = fs.nextInode
+	}
+	if meta.Size == 0 {
+		meta.Size = int64(len(data))
+	}
+	if meta.Mode == 0 {
+		meta.Mode = 0o755
+	}
+	f := &File{Path: path, Data: data, Meta: meta}
+	fs.files[path] = f
+	return f
+}
+
+// ReadFile returns the contents of path.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	return f.Data, nil
+}
+
+// Stat returns the metadata of path.
+func (fs *FS) Stat(path string) (FileMeta, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return FileMeta{}, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	return f.Meta, nil
+}
+
+// Exists reports whether path is present.
+func (fs *FS) Exists(path string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[path]
+	return ok
+}
+
+// List returns all paths with the given prefix, sorted.
+func (fs *FS) List(prefix string) []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []string
+	for p := range fs.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of installed files.
+func (fs *FS) Len() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return len(fs.files)
+}
+
+// Region is one line of /proc/<pid>/maps.
+type Region struct {
+	Start, End uint64
+	Perms      string // "r-xp" etc.
+	Offset     uint64
+	Dev        string // "fd:00"
+	Inode      uint64
+	Path       string // mapped file, "[heap]", "[stack]", or ""
+}
+
+// RenderMaps produces the text form of /proc/<pid>/maps for the regions.
+func RenderMaps(regions []Region) string {
+	var sb strings.Builder
+	for _, r := range regions {
+		dev := r.Dev
+		if dev == "" {
+			dev = "00:00"
+		}
+		fmt.Fprintf(&sb, "%012x-%012x %s %08x %s %d", r.Start, r.End, r.Perms, r.Offset, dev, r.Inode)
+		if r.Path != "" {
+			sb.WriteString(strings.Repeat(" ", 20))
+			sb.WriteString(r.Path)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ParseMaps parses /proc/<pid>/maps text back into regions. Lines that do
+// not match the maps grammar produce an error; empty input yields nil.
+func ParseMaps(text string) ([]Region, error) {
+	var out []Region
+	for lineNo, line := range strings.Split(text, "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 5 {
+			return nil, fmt.Errorf("procfs: maps line %d: %q", lineNo+1, line)
+		}
+		addrs := strings.SplitN(fields[0], "-", 2)
+		if len(addrs) != 2 {
+			return nil, fmt.Errorf("procfs: maps line %d: bad address range %q", lineNo+1, fields[0])
+		}
+		start, err := strconv.ParseUint(addrs[0], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("procfs: maps line %d: %v", lineNo+1, err)
+		}
+		end, err := strconv.ParseUint(addrs[1], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("procfs: maps line %d: %v", lineNo+1, err)
+		}
+		offset, err := strconv.ParseUint(fields[2], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("procfs: maps line %d: %v", lineNo+1, err)
+		}
+		inode, err := strconv.ParseUint(fields[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("procfs: maps line %d: %v", lineNo+1, err)
+		}
+		r := Region{Start: start, End: end, Perms: fields[1], Offset: offset, Dev: fields[3], Inode: inode}
+		if len(fields) >= 6 {
+			r.Path = fields[5]
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// MappedPaths returns the distinct file paths in the regions, in first-seen
+// order, skipping anonymous and pseudo ("[heap]") mappings.
+func MappedPaths(regions []Region) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range regions {
+		p := r.Path
+		if p == "" || strings.HasPrefix(p, "[") || seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package procfs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Proc is one simulated process: the fields siren.so collects via system
+// calls and /proc/self.
+type Proc struct {
+	PID       int
+	PPID      int
+	UID       uint32
+	GID       uint32
+	Exe       string // target of /proc/self/exe
+	Cmdline   []string
+	Env       map[string]string
+	Maps      []Region
+	StartTime int64 // unix seconds
+	ExitTime  int64 // zero while running
+	Container bool  // true when running inside a container (no host mounts)
+}
+
+// Getenv looks up an environment variable, empty when unset.
+func (p *Proc) Getenv(key string) string { return p.Env[key] }
+
+// CloneEnv copies the environment (children must not alias the parent's).
+func CloneEnv(env map[string]string) map[string]string {
+	out := make(map[string]string, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// Table is a thread-safe process table with wrapping PID allocation,
+// fork/exec/exit semantics, and lookup of live processes.
+type Table struct {
+	mu      sync.Mutex
+	procs   map[int]*Proc
+	nextPID int
+	maxPID  int
+	history int // count of all processes ever spawned
+}
+
+// NewTable returns a process table allocating PIDs in [2, maxPID]. A maxPID
+// of 0 uses the Linux default of 4194304; small values exercise PID reuse.
+func NewTable(maxPID int) *Table {
+	if maxPID <= 0 {
+		maxPID = 4194304
+	}
+	return &Table{procs: make(map[int]*Proc), nextPID: 1, maxPID: maxPID}
+}
+
+// Spawn creates a new process as a child of ppid (0 for an init-parented
+// process). The env map is cloned.
+func (t *Table) Spawn(ppid int, exe string, env map[string]string, uid, gid uint32, now int64) (*Proc, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pid, err := t.allocPID()
+	if err != nil {
+		return nil, err
+	}
+	p := &Proc{
+		PID: pid, PPID: ppid, UID: uid, GID: gid,
+		Exe: exe, Env: CloneEnv(env), StartTime: now,
+	}
+	t.procs[pid] = p
+	t.history++
+	return p, nil
+}
+
+// Exec replaces the process image of pid with a new executable, keeping the
+// PID — the exec()-family behaviour that motivates SIREN's executable-path
+// hash disambiguation. The environment is retained (execve with inherited
+// env); maps are reset.
+func (t *Table) Exec(pid int, exe string, now int64) (*Proc, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.procs[pid]
+	if !ok {
+		return nil, fmt.Errorf("procfs: exec: no such process %d", pid)
+	}
+	p.Exe = exe
+	p.Maps = nil
+	p.StartTime = now
+	return p, nil
+}
+
+// Exit marks pid as exited and frees its PID for reuse.
+func (t *Table) Exit(pid int, now int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.procs[pid]
+	if !ok {
+		return fmt.Errorf("procfs: exit: no such process %d", pid)
+	}
+	p.ExitTime = now
+	delete(t.procs, pid)
+	return nil
+}
+
+// Lookup returns the live process with the given PID.
+func (t *Table) Lookup(pid int) (*Proc, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.procs[pid]
+	return p, ok
+}
+
+// Live reports the number of live processes; Spawned the total ever created.
+func (t *Table) Live() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.procs)
+}
+
+// Spawned reports the total number of processes ever created.
+func (t *Table) Spawned() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.history
+}
+
+func (t *Table) allocPID() (int, error) {
+	for tries := 0; tries < t.maxPID; tries++ {
+		t.nextPID++
+		if t.nextPID > t.maxPID {
+			t.nextPID = 2 // wrap; PID 1 is init
+		}
+		if _, taken := t.procs[t.nextPID]; !taken {
+			return t.nextPID, nil
+		}
+	}
+	return 0, fmt.Errorf("procfs: PID space exhausted (%d live)", len(t.procs))
+}

@@ -1,0 +1,135 @@
+package pyenv
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+
+	"siren/internal/ssdeep"
+)
+
+var py310 = Interpreter{Version: "3.10", Path: "/usr/bin/python3.10", LibDir: "/usr/lib64/python3.10"}
+
+func TestExecutable(t *testing.T) {
+	if got := py310.Executable(); got != "python3.10" {
+		t.Errorf("Executable = %q", got)
+	}
+}
+
+func TestExtensionPaths(t *testing.T) {
+	path, ok := ExtensionPath(py310, "heapq")
+	if !ok || path != "/usr/lib64/python3.10/lib-dynload/_heapq.cpython-310-x86_64-linux-gnu.so" {
+		t.Errorf("heapq path = %q ok=%v", path, ok)
+	}
+	path, ok = ExtensionPath(py310, "numpy")
+	if !ok || path != "/usr/lib64/python3.10/site-packages/numpy/core/_multiarray_umath.cpython-310-x86_64-linux-gnu.so" {
+		t.Errorf("numpy path = %q ok=%v", path, ok)
+	}
+	if _, ok := ExtensionPath(py310, "not_a_package"); ok {
+		t.Error("unknown package should not resolve")
+	}
+}
+
+func TestMapAndExtractRoundTrip(t *testing.T) {
+	imports := []string{"heapq", "struct", "numpy", "mpi4py", "sha512", "blake2"}
+	regions := MapRegions(py310, imports, 0x7f0000000000)
+	got := ExtractImports(regions)
+	want := append([]string(nil), imports...)
+	sort.Strings(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ExtractImports = %q, want %q", got, want)
+	}
+}
+
+func TestExtractIgnoresNonPython(t *testing.T) {
+	regions := MapRegions(py310, []string{"math"}, 0x7f0000000000)
+	regions = append(regions, MapRegions(Interpreter{}, nil, 0)...)
+	got := ExtractImports(regions)
+	if !reflect.DeepEqual(got, []string{"math"}) {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestGenerateScriptDeterministic(t *testing.T) {
+	s1 := GenerateScript("/scratch/u/ana.py", 7, []string{"numpy", "heapq"})
+	s2 := GenerateScript("/scratch/u/ana.py", 7, []string{"numpy", "heapq"})
+	if !bytes.Equal(s1.Content, s2.Content) {
+		t.Error("script generation not deterministic")
+	}
+	if !bytes.Contains(s1.Content, []byte("import numpy\n")) {
+		t.Error("imports missing from script body")
+	}
+}
+
+func TestDistinctScriptsGetDistinctFuzzyHashes(t *testing.T) {
+	a := GenerateScript("/scratch/u/a.py", 1, []string{"numpy"})
+	b := GenerateScript("/scratch/u/b.py", 2, []string{"numpy"})
+	ha, err := ssdeep.Hash(a.Content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := ssdeep.Hash(b.Content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha == hb {
+		t.Error("distinct scripts hashed identically")
+	}
+}
+
+func TestIsInterpreterPath(t *testing.T) {
+	yes := []string{"/usr/bin/python3.10", "/usr/bin/python3", "/usr/bin/python", "/appl/conda/bin/python3.11"}
+	no := []string{"/usr/bin/bash", "/usr/bin/pythonista", "/home/u/python-helper.sh", "/usr/bin/python-config"}
+	for _, p := range yes {
+		if !IsInterpreterPath(p) {
+			t.Errorf("IsInterpreterPath(%q) = false", p)
+		}
+	}
+	for _, p := range no {
+		if IsInterpreterPath(p) {
+			t.Errorf("IsInterpreterPath(%q) = true", p)
+		}
+	}
+}
+
+func TestKnownPackagesSortedAndComplete(t *testing.T) {
+	pkgs := KnownPackages()
+	if len(pkgs) < 30 {
+		t.Errorf("only %d known packages", len(pkgs))
+	}
+	if !sort.StringsAreSorted(pkgs) {
+		t.Error("not sorted")
+	}
+	// All of Figure 3's packages must be representable.
+	for _, p := range []string{"heapq", "struct", "math", "posixsubprocess", "mpi4py", "numpy", "pandas", "scipy", "zoneinfo", "sha3"} {
+		found := false
+		for _, k := range pkgs {
+			if k == p {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("package %q missing from catalogue", p)
+		}
+	}
+}
+
+func TestPackageFromPathEdgeCases(t *testing.T) {
+	cases := []struct {
+		path string
+		want string
+		ok   bool
+	}{
+		{"/usr/lib64/python3.10/lib-dynload/_heapq.cpython-310-x86_64-linux-gnu.so", "heapq", true},
+		{"/usr/lib64/python3.10/site-packages/numpy/core/x.so", "numpy", true},
+		{"/lib64/libc.so.6", "", false},
+		{"/usr/lib64/python3.10/lib-dynload/noext", "", false},
+	}
+	for _, c := range cases {
+		got, ok := packageFromPath(c.path)
+		if got != c.want || ok != c.ok {
+			t.Errorf("packageFromPath(%q) = %q,%v want %q,%v", c.path, got, ok, c.want, c.ok)
+		}
+	}
+}

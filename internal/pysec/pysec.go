@@ -1,0 +1,148 @@
+// Package pysec cross-references imported Python packages against a curated
+// database of insecure or suspicious package names — the paper's stated
+// future work (§6: "cross-reference Python imports against known non-secure
+// packages") and its slopsquatting discussion (§4.4).
+//
+// Two families of findings are produced:
+//
+//   - Vulnerable: the package (at some version range) has known CVEs; the
+//     static import alone flags it for version-level follow-up.
+//   - Suspicious: the name matches a known hallucination/typosquat pattern
+//     (slopsquatting) — names LLMs invent that attackers then register.
+//
+// The database is a small curated snapshot in the spirit of pyup.io's
+// safety-db (the paper's reference [29]); sites extend it with AddAdvisory.
+package pysec
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Severity grades a finding.
+type Severity int
+
+const (
+	// SeverityInfo marks packages worth inventorying but not alarming.
+	SeverityInfo Severity = iota
+	// SeverityWarning marks known-vulnerable packages (version-dependent).
+	SeverityWarning
+	// SeverityCritical marks names that should never be imported
+	// (typosquats / hallucinated names).
+	SeverityCritical
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case SeverityWarning:
+		return "warning"
+	case SeverityCritical:
+		return "critical"
+	default:
+		return "info"
+	}
+}
+
+// Advisory is one database entry.
+type Advisory struct {
+	Package  string
+	Severity Severity
+	Reason   string // free text: CVE ids or squat target
+}
+
+// DB is an advisory database keyed by package name (case-insensitive).
+type DB struct {
+	mu         sync.RWMutex
+	advisories map[string]Advisory
+}
+
+// NewDB returns the built-in curated snapshot.
+func NewDB() *DB {
+	db := &DB{advisories: make(map[string]Advisory)}
+	for _, a := range builtinAdvisories {
+		db.advisories[strings.ToLower(a.Package)] = a
+	}
+	return db
+}
+
+// builtinAdvisories is the curated seed: a few real historically vulnerable
+// packages plus canonical typosquat/hallucination names.
+var builtinAdvisories = []Advisory{
+	// Known-vulnerable (version ranges elided; import alone warrants review).
+	{Package: "pyyaml", Severity: SeverityWarning, Reason: "CVE-2020-14343 unsafe load RCE in <5.4"},
+	{Package: "pillow", Severity: SeverityWarning, Reason: "multiple image-parser CVEs in <9.0"},
+	{Package: "requests", Severity: SeverityWarning, Reason: "CVE-2023-32681 Proxy-Authorization leak in <2.31"},
+	{Package: "cryptography", Severity: SeverityWarning, Reason: "CVE-2023-0286 X.509 type confusion in <39.0.1"},
+	{Package: "numpy", Severity: SeverityInfo, Reason: "CVE-2021-33430 buffer overflow in <1.21 (niche)"},
+	// Typosquats / slopsquatting.
+	{Package: "reqeusts", Severity: SeverityCritical, Reason: "typosquat of requests"},
+	{Package: "python-dateutils", Severity: SeverityCritical, Reason: "squat of python-dateutil"},
+	{Package: "tensorflw", Severity: SeverityCritical, Reason: "typosquat of tensorflow"},
+	{Package: "huggingface-hub-cli", Severity: SeverityCritical, Reason: "hallucinated package name (slopsquatting)"},
+	{Package: "pytorch-nightly-gpu", Severity: SeverityCritical, Reason: "hallucinated package name (slopsquatting)"},
+	{Package: "mpi4py-mpich-bin", Severity: SeverityCritical, Reason: "hallucinated package name (slopsquatting)"},
+}
+
+// AddAdvisory inserts or replaces an advisory.
+func (db *DB) AddAdvisory(a Advisory) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.advisories[strings.ToLower(a.Package)] = a
+}
+
+// Lookup returns the advisory for a package name, if any.
+func (db *DB) Lookup(pkg string) (Advisory, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	a, ok := db.advisories[strings.ToLower(pkg)]
+	return a, ok
+}
+
+// Len reports the number of advisories.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.advisories)
+}
+
+// Finding is one matched import.
+type Finding struct {
+	Advisory
+	Users     []string // anonymised users importing it
+	Jobs      int
+	Processes int
+}
+
+// ImportObservation is the minimal view pysec needs of an analysis result —
+// one imported package with its usage counts (analysis.PackageStat
+// satisfies this shape; the indirection avoids an import cycle).
+type ImportObservation struct {
+	Package   string
+	Users     []string
+	Jobs      int
+	Processes int
+}
+
+// Audit matches observations against the database, returning findings
+// sorted by severity (critical first), then package name.
+func (db *DB) Audit(observations []ImportObservation) []Finding {
+	var out []Finding
+	for _, obs := range observations {
+		a, ok := db.Lookup(obs.Package)
+		if !ok {
+			continue
+		}
+		out = append(out, Finding{
+			Advisory: a, Users: obs.Users, Jobs: obs.Jobs, Processes: obs.Processes,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Severity != out[j].Severity {
+			return out[i].Severity > out[j].Severity
+		}
+		return out[i].Package < out[j].Package
+	})
+	return out
+}

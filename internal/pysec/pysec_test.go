@@ -1,0 +1,63 @@
+package pysec
+
+import (
+	"testing"
+)
+
+func TestBuiltinDatabase(t *testing.T) {
+	db := NewDB()
+	if db.Len() < 10 {
+		t.Errorf("curated DB too small: %d", db.Len())
+	}
+	a, ok := db.Lookup("PyYAML") // case-insensitive
+	if !ok || a.Severity != SeverityWarning {
+		t.Errorf("pyyaml lookup = %+v ok=%v", a, ok)
+	}
+	if _, ok := db.Lookup("heapq"); ok {
+		t.Error("stdlib package flagged")
+	}
+}
+
+func TestAddAdvisory(t *testing.T) {
+	db := NewDB()
+	db.AddAdvisory(Advisory{Package: "siteonly", Severity: SeverityCritical, Reason: "local ban"})
+	if a, ok := db.Lookup("siteonly"); !ok || a.Reason != "local ban" {
+		t.Errorf("custom advisory lost: %+v", a)
+	}
+	// Replace severity.
+	db.AddAdvisory(Advisory{Package: "siteonly", Severity: SeverityInfo})
+	if a, _ := db.Lookup("siteonly"); a.Severity != SeverityInfo {
+		t.Error("replacement failed")
+	}
+}
+
+func TestAuditOrdering(t *testing.T) {
+	db := NewDB()
+	findings := db.Audit([]ImportObservation{
+		{Package: "numpy", Users: []string{"user_4"}, Jobs: 3, Processes: 10},
+		{Package: "reqeusts", Users: []string{"user_9"}, Jobs: 1, Processes: 1},
+		{Package: "requests", Users: []string{"user_2"}, Jobs: 2, Processes: 2},
+		{Package: "heapq", Users: []string{"user_4"}, Jobs: 3, Processes: 10}, // clean
+	})
+	if len(findings) != 3 {
+		t.Fatalf("findings = %d", len(findings))
+	}
+	if findings[0].Package != "reqeusts" || findings[0].Severity != SeverityCritical {
+		t.Errorf("first finding = %+v, want the typosquat", findings[0])
+	}
+	if findings[1].Severity != SeverityWarning {
+		t.Errorf("second finding = %+v", findings[1])
+	}
+	if findings[2].Severity != SeverityInfo {
+		t.Errorf("third finding = %+v", findings[2])
+	}
+	if findings[0].Jobs != 1 || len(findings[0].Users) != 1 {
+		t.Errorf("usage counts lost: %+v", findings[0])
+	}
+}
+
+func TestSeverityStrings(t *testing.T) {
+	if SeverityCritical.String() != "critical" || SeverityWarning.String() != "warning" || SeverityInfo.String() != "info" {
+		t.Error("severity names wrong")
+	}
+}

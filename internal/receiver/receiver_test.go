@@ -1,0 +1,178 @@
+package receiver
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"siren/internal/sirendb"
+	"siren/internal/wire"
+)
+
+func mkMsg(pid int, typ string) wire.Message {
+	return wire.Message{
+		Header: wire.Header{
+			JobID: "77", StepID: "0", PID: pid, Hash: "beef", Host: "nid001001",
+			Time: 1733900000, Layer: wire.LayerSelf, Type: typ, Seq: 0, Total: 1,
+		},
+		Content: []byte("payload"),
+	}
+}
+
+func TestUDPEndToEnd(t *testing.T) {
+	db, _ := sirendb.Open("")
+	r := New(db, Options{})
+	addr, err := r.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := wire.DialUDP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := tr.Send(wire.Encode(mkMsg(i, wire.TypeMetadata))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Close()
+	// UDP delivery on loopback is fast but asynchronous; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for db.Count() < n && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Count(); got != n {
+		t.Errorf("stored %d messages, want %d (loopback should not drop)", got, n)
+	}
+	if r.Stats().Malformed.Load() != 0 {
+		t.Error("unexpected malformed datagrams")
+	}
+}
+
+func TestChannelModeAndBatching(t *testing.T) {
+	db, _ := sirendb.Open("")
+	r := New(db, Options{Depth: 1024, BatchMax: 16})
+	src := wire.NewChanTransport(1 << 16)
+	r.AttachChannel(src.C())
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := src.Send(wire.Encode(mkMsg(i, wire.TypeObjects))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Close()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count() != n {
+		t.Errorf("stored %d, want %d", db.Count(), n)
+	}
+	if r.Stats().Inserted.Load() != n {
+		t.Errorf("Inserted = %d", r.Stats().Inserted.Load())
+	}
+}
+
+func TestMalformedDatagramsDropped(t *testing.T) {
+	db, _ := sirendb.Open("")
+	r := New(db, Options{})
+	src := wire.NewChanTransport(64)
+	r.AttachChannel(src.C())
+	src.Send([]byte("garbage"))
+	src.Send(wire.Encode(mkMsg(1, wire.TypeMetadata)))
+	src.Send([]byte("SIREN1|also garbage"))
+	src.Close()
+	r.Close()
+	if db.Count() != 1 {
+		t.Errorf("stored %d, want 1", db.Count())
+	}
+	if r.Stats().Malformed.Load() != 2 {
+		t.Errorf("Malformed = %d, want 2", r.Stats().Malformed.Load())
+	}
+}
+
+func TestLossyTransportMissingFields(t *testing.T) {
+	// Reproduces the paper's observation: with a small UDP loss rate, a
+	// small fraction of processes end up with missing fields, and the rest
+	// of the pipeline keeps working.
+	db, _ := sirendb.Open("")
+	r := New(db, Options{})
+	src := wire.NewChanTransport(1 << 18)
+	lossy := wire.NewLossyTransport(src, 0.001, 99) // 0.1% datagram loss
+	r.AttachChannel(src.C())
+
+	const procs = 2000
+	perProc := []string{wire.TypeMetadata, wire.TypeObjects, wire.TypeFileH}
+	for p := 0; p < procs; p++ {
+		for _, typ := range perProc {
+			m := mkMsg(p, typ)
+			m.Hash = fmt.Sprintf("%032x", p)
+			lossy.Send(wire.Encode(m))
+		}
+	}
+	src.Close()
+	r.Close()
+
+	// Count processes with missing fields.
+	byProc := make(map[string]int)
+	db.Scan(func(m wire.Message) bool {
+		byProc[m.ProcessKey()]++
+		return true
+	})
+	missing := 0
+	for _, n := range byProc {
+		if n < len(perProc) {
+			missing++
+		}
+	}
+	total := procs * len(perProc)
+	lost := total - int(db.Count())
+	if lost == 0 {
+		t.Skip("loss injection produced no losses at this seed")
+	}
+	if missing == 0 {
+		t.Error("expected some processes with missing fields")
+	}
+	frac := float64(missing) / procs
+	if frac > 0.02 {
+		t.Errorf("missing-field fraction %.4f implausibly high for 0.1%% loss", frac)
+	}
+	t.Logf("datagrams lost: %d/%d, processes with missing fields: %d/%d (%.3f%%)",
+		lost, total, missing, procs, 100*frac)
+}
+
+func TestCloseIsIdempotentAndFlushes(t *testing.T) {
+	db, _ := sirendb.Open("")
+	r := New(db, Options{BatchMax: 1000})
+	src := wire.NewChanTransport(64)
+	r.AttachChannel(src.C())
+	src.Send(wire.Encode(mkMsg(1, wire.TypeMetadata)))
+	src.Close()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count() != 1 {
+		t.Error("partial batch not flushed on close")
+	}
+}
+
+func BenchmarkPipelineChannel(b *testing.B) {
+	db, _ := sirendb.Open("")
+	r := New(db, Options{Depth: 1 << 16})
+	src := wire.NewChanTransport(1 << 16)
+	r.AttachChannel(src.C())
+	d := wire.Encode(mkMsg(1, wire.TypeObjects))
+	b.SetBytes(int64(len(d)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for src.Send(d) != nil {
+		}
+	}
+	b.StopTimer()
+	src.Close()
+	r.Close()
+}

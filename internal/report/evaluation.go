@@ -1,0 +1,117 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"siren/internal/analysis"
+	"siren/internal/postprocess"
+	"siren/internal/ssdeep"
+)
+
+// WriteEvaluation renders every table and figure of the paper's evaluation
+// section (§4) from a consolidated dataset — the output of
+// cmd/siren-campaign and cmd/siren-analyze.
+func WriteEvaluation(w io.Writer, data *analysis.Dataset, stats postprocess.Stats) {
+	fmt.Fprintf(w, "== Dataset ==\n")
+	fmt.Fprintf(w, "  messages=%d records=%d processes=%d jobs=%d\n",
+		stats.Messages, stats.Records, stats.Processes, stats.Jobs)
+	fmt.Fprintf(w, "  processes with missing fields: %d (%.4f%% of jobs affected: %d)\n\n",
+		stats.ProcessesWithMissing,
+		100*float64(stats.JobsWithMissing)/nonZero(stats.Jobs), stats.JobsWithMissing)
+
+	// Table 2.
+	var rows [][]string
+	for _, s := range data.UserStats() {
+		rows = append(rows, []string{s.User, Itoa(s.Jobs), Itoa(s.SystemProcs), Itoa(s.UserProcs), Itoa(s.PythonProcs)})
+	}
+	Table(w, "Table 2: users, jobs, and processes",
+		[]string{"user", "jobs", "system procs", "user procs", "python procs"}, rows)
+	fmt.Fprintln(w)
+
+	// Table 3.
+	rows = nil
+	for _, e := range data.TopSystemExecutables(10) {
+		rows = append(rows, []string{e.Path, Itoa(e.UniqueUsers), Itoa(e.Jobs), Itoa(e.Processes), Itoa(e.UniqueObjectsH)})
+	}
+	Table(w, fmt.Sprintf("Table 3: top 10 system-directory executables (of %d total)", data.SystemExecutableCount()),
+		[]string{"executable", "users", "jobs", "procs", "uniq OBJECTS_H"}, rows)
+	fmt.Fprintln(w)
+
+	// Table 4.
+	rows = nil
+	for _, s := range data.DeviatingLibraries("/usr/bin/bash") {
+		rows = append(rows, []string{"/usr/bin/bash", Itoa(s.Processes), s.LibraryVariant("libtinfo"), s.LibraryVariant("libm")})
+	}
+	Table(w, "Table 4: deviating shared objects of /usr/bin/bash",
+		[]string{"executable", "procs", "libtinfo path", "libm path"}, rows)
+	fmt.Fprintln(w)
+
+	// Table 5.
+	rows = nil
+	for _, l := range data.DeriveLabels() {
+		rows = append(rows, []string{l.Label, Itoa(l.UniqueUsers), Itoa(l.Jobs), Itoa(l.Processes), Itoa(l.UniqueFileH)})
+	}
+	Table(w, "Table 5: derived labels for user applications",
+		[]string{"label", "users", "jobs", "procs", "uniq FILE_H"}, rows)
+	fmt.Fprintln(w)
+
+	// Table 6.
+	rows = nil
+	for _, c := range data.CompilerTable() {
+		rows = append(rows, []string{c.Compilers, Itoa(c.UniqueUsers), Itoa(c.Jobs), Itoa(c.Processes), Itoa(c.UniqueFileH)})
+	}
+	Table(w, "Table 6: compiler information of user applications",
+		[]string{"compilers", "users", "jobs", "procs", "uniq FILE_H"}, rows)
+	fmt.Fprintln(w)
+
+	// Table 7.
+	if unknown, ok := data.FindUnknown(); ok {
+		rows = nil
+		for _, r := range data.SimilaritySearch(unknown, 10, ssdeep.BackendWeighted) {
+			rows = append(rows, []string{r.Label, F1(r.Avg), Itoa(r.ModulesS), Itoa(r.CompilersS),
+				Itoa(r.ObjectsS), Itoa(r.FileS), Itoa(r.StringsS), Itoa(r.SymbolsS)})
+		}
+		Table(w, fmt.Sprintf("Table 7: similarity search for %s", unknown.Exe),
+			[]string{"label", "avg", "MO_H", "CO_H", "OB_H", "FI_H", "ST_H", "SY_H"}, rows)
+		fmt.Fprintln(w)
+	}
+
+	// Table 8.
+	rows = nil
+	for _, s := range data.PythonInterpreters() {
+		rows = append(rows, []string{s.Interpreter, Itoa(s.UniqueUsers), Itoa(s.Jobs), Itoa(s.Processes), Itoa(s.UniqueScriptH)})
+	}
+	Table(w, "Table 8: Python interpreters",
+		[]string{"interpreter", "users", "jobs", "procs", "uniq SCRIPT_H"}, rows)
+	fmt.Fprintln(w)
+
+	// Figure 2.
+	rows = nil
+	for _, s := range data.DerivedLibraries() {
+		rows = append(rows, []string{s.Tag, Itoa(s.UniqueUsers), Itoa(s.Jobs), Itoa(s.Processes), Itoa(s.UniqueExecutables)})
+	}
+	Table(w, "Figure 2: derived+filtered shared objects in user applications",
+		[]string{"library tag", "users", "jobs", "procs", "uniq exes"}, rows)
+	fmt.Fprintln(w)
+
+	// Figure 3.
+	rows = nil
+	for _, s := range data.PythonPackages() {
+		rows = append(rows, []string{s.Package, Itoa(s.UniqueUsers), Itoa(s.Jobs), Itoa(s.Processes), Itoa(s.UniqueScripts)})
+	}
+	Table(w, "Figure 3: imported Python packages",
+		[]string{"package", "users", "jobs", "procs", "uniq scripts"}, rows)
+	fmt.Fprintln(w)
+
+	Matrix(w, "Figure 4: compiler identification by software label", data.CompilerMatrix())
+	fmt.Fprintln(w)
+	Matrix(w, "Figure 5: loaded shared-object usage by software label", data.LibraryMatrix())
+}
+
+func nonZero(n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	return float64(n)
+}

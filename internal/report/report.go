@@ -1,0 +1,111 @@
+// Package report renders analysis results as aligned ASCII tables and CSV
+// series — the presentation layer behind the siren-campaign and
+// siren-analyze tools and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"siren/internal/analysis"
+)
+
+// Table writes an aligned ASCII table.
+func Table(w io.Writer, title string, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Matrix renders a binary usage matrix (Figures 4 and 5) with one row per
+// label and one 0/1 column per entry.
+func Matrix(w io.Writer, title string, m *analysis.Matrix) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	labelW := len("label")
+	for _, r := range m.Rows {
+		if len(r) > labelW {
+			labelW = len(r)
+		}
+	}
+	fmt.Fprintf(w, "  %s", pad("label", labelW))
+	for i := range m.Cols {
+		fmt.Fprintf(w, " c%02d", i)
+	}
+	fmt.Fprintln(w)
+	for i, c := range m.Cols {
+		fmt.Fprintf(w, "  %s c%02d = %s\n", strings.Repeat(" ", labelW), i, c)
+	}
+	for _, r := range m.Rows {
+		fmt.Fprintf(w, "  %s", pad(r, labelW))
+		for _, c := range m.Cols {
+			v := 0
+			if m.Used(r, c) {
+				v = 1
+			}
+			fmt.Fprintf(w, "   %d", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// CSV writes rows as comma-separated values with a header.
+func CSV(w io.Writer, headers []string, rows [][]string) {
+	fmt.Fprintln(w, strings.Join(headers, ","))
+	for _, row := range rows {
+		quoted := make([]string, len(row))
+		for i, c := range row {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			quoted[i] = c
+		}
+		fmt.Fprintln(w, strings.Join(quoted, ","))
+	}
+}
+
+// Itoa is a tiny helper for building rows.
+func Itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// F1 formats a float with one decimal.
+func F1(f float64) string { return fmt.Sprintf("%.1f", f) }

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"siren/internal/analysis"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var sb strings.Builder
+	Table(&sb, "Title", []string{"col", "n"}, [][]string{{"a", "1"}, {"longer", "22"}})
+	out := sb.String()
+	if !strings.Contains(out, "Title") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 rows
+		t.Fatalf("lines = %q", lines)
+	}
+	if !strings.Contains(lines[1], "col") || !strings.Contains(lines[2], "---") {
+		t.Errorf("header/separator wrong: %q", lines)
+	}
+	// Columns align: "n" column starts at the same offset in every row.
+	idx := strings.Index(lines[1], "n")
+	for _, l := range lines[3:] {
+		if len(l) <= idx {
+			t.Errorf("row too short: %q", l)
+		}
+	}
+}
+
+func TestMatrixRendering(t *testing.T) {
+	m := &analysis.Matrix{
+		Rows: []string{"icon", "gzip"},
+		Cols: []string{"siren", "pthread"},
+		Bits: map[string]map[string]bool{
+			"icon": {"siren": true, "pthread": true},
+			"gzip": {"siren": true},
+		},
+	}
+	var sb strings.Builder
+	Matrix(&sb, "Fig", m)
+	out := sb.String()
+	if !strings.Contains(out, "c00 = siren") || !strings.Contains(out, "icon") {
+		t.Errorf("matrix output:\n%s", out)
+	}
+	// gzip row: 1 for siren, 0 for pthread.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "gzip") {
+			if !strings.Contains(line, "1") || !strings.Contains(line, "0") {
+				t.Errorf("gzip row = %q", line)
+			}
+		}
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	var sb strings.Builder
+	CSV(&sb, []string{"a", "b"}, [][]string{{`x,y`, `q"r`}})
+	want := "a,b\n\"x,y\",\"q\"\"r\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if Itoa(42) != "42" || F1(1.25) != "1.2" && F1(1.25) != "1.3" {
+		t.Error("helpers wrong")
+	}
+}

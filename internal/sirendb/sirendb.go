@@ -1,0 +1,289 @@
+// Package sirendb is the embedded message store behind the SIREN receiver —
+// the stdlib-only substitute for the SQLite database the paper uses.
+//
+// The paper's schema is a single table keyed by the UDP header columns
+// (JOBID, STEPID, PID, HASH, HOST, TIME, LAYER, TYPE) with the message
+// CONTENT as payload. This store keeps rows in memory with two secondary
+// indexes (by job and by process key), and persists every insert to an
+// append-only write-ahead log so a receiver restart loses nothing. Replay
+// tolerates a torn final record (crash mid-write) and skips corrupt records
+// (checksummed), in keeping with SIREN's graceful-failure design.
+package sirendb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"siren/internal/wire"
+	"siren/internal/xxhash"
+)
+
+// DB is a thread-safe append-only message store.
+type DB struct {
+	mu        sync.RWMutex
+	rows      []wire.Message
+	byJob     map[string][]int
+	byProcess map[string][]int
+	wal       *os.File
+	path      string
+	corrupt   int // records skipped during replay
+}
+
+// Open opens (or creates) a database backed by the WAL file at path.
+// An empty path yields a purely in-memory database.
+func Open(path string) (*DB, error) {
+	db := &DB{byJob: make(map[string][]int), byProcess: make(map[string][]int), path: path}
+	if path == "" {
+		return db, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sirendb: opening %s: %w", path, err)
+	}
+	if err := db.replay(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sirendb: seeking %s: %w", path, err)
+	}
+	db.wal = f
+	return db, nil
+}
+
+// replay loads all intact records from the WAL.
+func (db *DB) replay(f *os.File) error {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("sirendb: %w", err)
+	}
+	var hdr [8]byte // 4-byte length + 4-byte checksum
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // clean end or torn header: stop replay
+			}
+			return fmt.Errorf("sirendb: replaying WAL: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > 64<<20 {
+			return nil // corrupt length: treat as torn tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return nil // torn record
+		}
+		if uint32(xxhash.Sum64(payload)) != sum {
+			db.corrupt++
+			continue
+		}
+		msg, err := wire.Parse(payload)
+		if err != nil {
+			db.corrupt++
+			continue
+		}
+		db.appendLocked(msg)
+	}
+}
+
+// CorruptRecords reports how many WAL records were skipped during replay.
+func (db *DB) CorruptRecords() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.corrupt
+}
+
+// Insert stores one message (and appends it to the WAL when persistent).
+func (db *DB) Insert(m wire.Message) error {
+	return db.InsertBatch([]wire.Message{m})
+}
+
+// InsertBatch stores several messages under one lock/flush cycle — the shape
+// the receiver's buffered channel naturally produces.
+func (db *DB) InsertBatch(ms []wire.Message) error {
+	if len(ms) == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal != nil {
+		var buf []byte
+		for _, m := range ms {
+			payload := wire.Encode(m)
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+			binary.LittleEndian.PutUint32(hdr[4:8], uint32(xxhash.Sum64(payload)))
+			buf = append(buf, hdr[:]...)
+			buf = append(buf, payload...)
+		}
+		if _, err := db.wal.Write(buf); err != nil {
+			return fmt.Errorf("sirendb: WAL write: %w", err)
+		}
+	}
+	for _, m := range ms {
+		db.appendLocked(m)
+	}
+	return nil
+}
+
+func (db *DB) appendLocked(m wire.Message) {
+	idx := len(db.rows)
+	db.rows = append(db.rows, m)
+	db.byJob[m.JobID] = append(db.byJob[m.JobID], idx)
+	pk := m.ProcessKey()
+	db.byProcess[pk] = append(db.byProcess[pk], idx)
+}
+
+// Count returns the number of stored messages.
+func (db *DB) Count() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.rows)
+}
+
+// Scan streams every message in insertion order; return false to stop.
+func (db *DB) Scan(f func(m wire.Message) bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, m := range db.rows {
+		if !f(m) {
+			return
+		}
+	}
+}
+
+// All returns a copy of every message in insertion order.
+func (db *DB) All() []wire.Message {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]wire.Message(nil), db.rows...)
+}
+
+// ByJob returns all messages of one job in insertion order.
+func (db *DB) ByJob(jobID string) []wire.Message {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	idxs := db.byJob[jobID]
+	out := make([]wire.Message, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, db.rows[i])
+	}
+	return out
+}
+
+// ByProcess returns all messages sharing a process key.
+func (db *DB) ByProcess(processKey string) []wire.Message {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	idxs := db.byProcess[processKey]
+	out := make([]wire.Message, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, db.rows[i])
+	}
+	return out
+}
+
+// Jobs returns the distinct job IDs, sorted.
+func (db *DB) Jobs() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.byJob))
+	for j := range db.byJob {
+		out = append(out, j)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProcessKeys returns the distinct process keys, sorted.
+func (db *DB) ProcessKeys() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.byProcess))
+	for k := range db.byProcess {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Compact rewrites the WAL to contain exactly the current rows (dropping
+// torn/corrupt residue) and fsyncs it.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil {
+		return nil
+	}
+	tmpPath := db.path + ".compact"
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("sirendb: compact: %w", err)
+	}
+	for _, m := range db.rows {
+		payload := wire.Encode(m)
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(xxhash.Sum64(payload)))
+		if _, err := tmp.Write(hdr[:]); err != nil {
+			tmp.Close()
+			return fmt.Errorf("sirendb: compact: %w", err)
+		}
+		if _, err := tmp.Write(payload); err != nil {
+			tmp.Close()
+			return fmt.Errorf("sirendb: compact: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sirendb: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sirendb: compact: %w", err)
+	}
+	if err := db.wal.Close(); err != nil {
+		return fmt.Errorf("sirendb: compact: %w", err)
+	}
+	if err := os.Rename(tmpPath, db.path); err != nil {
+		return fmt.Errorf("sirendb: compact: %w", err)
+	}
+	f, err := os.OpenFile(db.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("sirendb: compact: %w", err)
+	}
+	db.wal = f
+	db.corrupt = 0
+	return nil
+}
+
+// Sync flushes the WAL to stable storage.
+func (db *DB) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.Sync()
+}
+
+// Close syncs and closes the WAL. The in-memory view stays readable.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil {
+		return nil
+	}
+	if err := db.wal.Sync(); err != nil {
+		db.wal.Close()
+		return fmt.Errorf("sirendb: close: %w", err)
+	}
+	err := db.wal.Close()
+	db.wal = nil
+	return err
+}

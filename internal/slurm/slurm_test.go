@@ -1,0 +1,224 @@
+package slurm
+
+import (
+	"testing"
+
+	"siren/internal/ldso"
+	"siren/internal/procfs"
+	"siren/internal/toolchain"
+)
+
+type recordingHook struct {
+	starts []string // exe paths
+	exits  []string
+	times  []int64
+}
+
+func (h *recordingHook) OnProcessStart(ev ProcessEvent) {
+	h.starts = append(h.starts, ev.Proc.Exe)
+	h.times = append(h.times, ev.Time)
+}
+func (h *recordingHook) OnProcessExit(ev ProcessEvent) {
+	h.exits = append(h.exits, ev.Proc.Exe)
+}
+
+func testRuntime(t *testing.T) (*Runtime, *recordingHook) {
+	t.Helper()
+	fs := procfs.NewFS()
+	cache := ldso.NewCache()
+	cache.Register(ldso.Library{Soname: "libc.so.6", Path: "/lib64/libc.so.6"})
+	cache.Register(ldso.Library{Soname: "siren.so", Path: "/opt/siren/lib/siren.so"})
+	fs.Install("/lib64/libc.so.6", []byte("libc"), procfs.FileMeta{})
+	fs.Install("/opt/siren/lib/siren.so", []byte("siren"), procfs.FileMeta{})
+
+	compileTo := func(path, name string, static bool) {
+		art, err := toolchain.Compile(
+			toolchain.Source{Name: name, Version: "1.0"},
+			toolchain.BuildOptions{Compilers: []toolchain.Compiler{toolchain.GCCSUSE}, Static: static})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.Install(path, art.Binary, procfs.FileMeta{})
+	}
+	compileTo("/usr/bin/bash", "bash", false)
+	compileTo("/usr/bin/mkdir", "mkdir", false)
+	compileTo("/usr/bin/static-app", "static-app", true)
+
+	rt := NewRuntime(fs, procfs.NewTable(0), cache, NewClock(1733900000))
+	hook := &recordingHook{}
+	rt.Hook = hook
+	return rt, hook
+}
+
+func preloadEnv() map[string]string {
+	return map[string]string{"LD_PRELOAD": "/opt/siren/lib/siren.so"}
+}
+
+func TestRunFiresHooks(t *testing.T) {
+	rt, hook := testRuntime(t)
+	p, err := rt.Run("/usr/bin/bash", ExecOptions{PPID: 1, UID: 1000, Env: preloadEnv()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hook.starts) != 1 || hook.starts[0] != "/usr/bin/bash" {
+		t.Errorf("starts = %q", hook.starts)
+	}
+	if len(hook.exits) != 1 {
+		t.Errorf("exits = %q", hook.exits)
+	}
+	if p.ExitTime <= p.StartTime {
+		t.Errorf("exit %d not after start %d", p.ExitTime, p.StartTime)
+	}
+}
+
+func TestNoPreloadNoHooks(t *testing.T) {
+	rt, hook := testRuntime(t)
+	if _, err := rt.Run("/usr/bin/bash", ExecOptions{PPID: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(hook.starts) != 0 {
+		t.Errorf("hooks fired without preload: %q", hook.starts)
+	}
+}
+
+func TestStaticBinaryNoHooks(t *testing.T) {
+	rt, hook := testRuntime(t)
+	if _, err := rt.Run("/usr/bin/static-app", ExecOptions{PPID: 1, Env: preloadEnv()}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(hook.starts) != 0 {
+		t.Error("static binary must not trigger hooks")
+	}
+}
+
+func TestContainerNoHooks(t *testing.T) {
+	rt, hook := testRuntime(t)
+	if _, err := rt.Run("/usr/bin/bash", ExecOptions{PPID: 1, Env: preloadEnv(), Container: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(hook.starts) != 0 {
+		t.Error("containerised process must not trigger hooks (preload path unmounted)")
+	}
+}
+
+func TestKilledProcessSkipsDestructor(t *testing.T) {
+	rt, hook := testRuntime(t)
+	if _, err := rt.Run("/usr/bin/bash", ExecOptions{PPID: 1, Env: preloadEnv(), Killed: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(hook.starts) != 1 || len(hook.exits) != 0 {
+		t.Errorf("starts=%d exits=%d, want 1/0", len(hook.starts), len(hook.exits))
+	}
+}
+
+func TestRunExecSamePIDSameSecond(t *testing.T) {
+	rt, hook := testRuntime(t)
+	p, err := rt.RunExec("/usr/bin/bash", "/usr/bin/mkdir", ExecOptions{PPID: 1, Env: preloadEnv()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hook.starts) != 2 {
+		t.Fatalf("starts = %q, want both images", hook.starts)
+	}
+	if hook.starts[0] != "/usr/bin/bash" || hook.starts[1] != "/usr/bin/mkdir" {
+		t.Errorf("starts = %q", hook.starts)
+	}
+	if hook.times[0] != hook.times[1] {
+		t.Errorf("exec images got different timestamps: %v", hook.times)
+	}
+	// Only the final image's destructor runs.
+	if len(hook.exits) != 1 || hook.exits[0] != "/usr/bin/mkdir" {
+		t.Errorf("exits = %q", hook.exits)
+	}
+	if p.Exe != "/usr/bin/mkdir" {
+		t.Errorf("final exe = %q", p.Exe)
+	}
+}
+
+func TestBodyRunsBetweenHooks(t *testing.T) {
+	rt, hook := testRuntime(t)
+	var sawStart bool
+	_, err := rt.Run("/usr/bin/bash", ExecOptions{PPID: 1, Env: preloadEnv()}, func(p *procfs.Proc) error {
+		sawStart = len(hook.starts) == 1 && len(hook.exits) == 0
+		// Launch a child from within the body.
+		_, err := rt.Run("/usr/bin/mkdir", ExecOptions{PPID: p.PID, Env: p.Env}, nil)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawStart {
+		t.Error("body did not run between constructor and destructor")
+	}
+	if len(hook.starts) != 2 {
+		t.Errorf("child hook missing: %q", hook.starts)
+	}
+}
+
+func TestMissingExecutable(t *testing.T) {
+	rt, _ := testRuntime(t)
+	if _, err := rt.Run("/no/such/binary", ExecOptions{PPID: 1}, nil); err == nil {
+		t.Error("expected error for missing executable")
+	}
+	if rt.Table.Live() != 0 {
+		t.Error("failed exec leaked a process")
+	}
+}
+
+func TestNonELFExecutable(t *testing.T) {
+	rt, _ := testRuntime(t)
+	rt.FS.Install("/usr/bin/script.sh", []byte("#!/bin/sh\necho hi\n"), procfs.FileMeta{})
+	if _, err := rt.Run("/usr/bin/script.sh", ExecOptions{PPID: 1}, nil); err == nil {
+		t.Error("non-ELF image must fail exec")
+	}
+	if rt.Table.Live() != 0 {
+		t.Error("failed exec leaked a process")
+	}
+}
+
+func TestClusterAndJobEnv(t *testing.T) {
+	c := NewCluster("lumi", 16)
+	if len(c.Nodes()) != 16 || c.Node(0) != "nid001001" || c.Node(16) != "nid001001" {
+		t.Errorf("nodes = %v", c.Nodes()[:2])
+	}
+	id1, id2 := c.NextJobID(), c.NextJobID()
+	if id2 != id1+1 {
+		t.Errorf("job ids %d, %d", id1, id2)
+	}
+	j := Job{ID: 42, Name: "my-sim", User: "user_3", UID: 1003, Node: c.Node(3)}
+	env := j.TaskEnv(map[string]string{"LD_PRELOAD": "/opt/siren/lib/siren.so"}, 0, 5)
+	for k, want := range map[string]string{
+		"SLURM_JOB_ID": "42", "SLURM_STEP_ID": "0", "SLURM_PROCID": "5",
+		"HOSTNAME": "nid001004", "USER": "user_3", "SLURM_JOB_NAME": "my-sim",
+		"LD_PRELOAD": "/opt/siren/lib/siren.so",
+	} {
+		if env[k] != want {
+			t.Errorf("env[%s] = %q, want %q", k, env[k], want)
+		}
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	c := NewClock(100)
+	if c.Now() != 100 {
+		t.Error("start time wrong")
+	}
+	if c.Advance(5) != 105 || c.Now() != 105 {
+		t.Error("advance wrong")
+	}
+	done := make(chan bool)
+	for i := 0; i < 4; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				c.Advance(1)
+			}
+			done <- true
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if c.Now() != 4105 {
+		t.Errorf("concurrent advance lost updates: %d", c.Now())
+	}
+}

@@ -1,0 +1,108 @@
+package ssdeep
+
+import (
+	"sort"
+	"sync"
+)
+
+// Entry is a labelled digest registered with a Matcher.
+type Entry struct {
+	Label  string // free-form label, e.g. a software name
+	Digest string // canonical digest string
+	parsed Digest
+}
+
+// Match is one similarity-search result.
+type Match struct {
+	Label  string
+	Digest string
+	Score  int // 0–100
+}
+
+// Matcher is an in-memory similarity-search index over labelled fuzzy
+// hashes: the structure SIREN's analysis layer uses to identify an unknown
+// executable by ranking its digest against all known ones. A Matcher is safe
+// for concurrent use.
+//
+// Candidate pruning uses the block-size comparability rule: a query digest
+// with block size b can only score nonzero against entries with block size
+// b/2, b, or 2b, so entries are bucketed by block size.
+type Matcher struct {
+	mu      sync.RWMutex
+	byBlock map[uint32][]Entry
+	backend Backend
+	n       int
+}
+
+// NewMatcher returns an empty Matcher scoring with the given backend.
+func NewMatcher(backend Backend) *Matcher {
+	return &Matcher{byBlock: make(map[uint32][]Entry), backend: backend}
+}
+
+// Len reports the number of registered entries.
+func (m *Matcher) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.n
+}
+
+// Add registers a labelled digest. Malformed digests are rejected.
+func (m *Matcher) Add(label, digest string) error {
+	p, err := ParseDigest(digest)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.byBlock[p.BlockSize] = append(m.byBlock[p.BlockSize], Entry{Label: label, Digest: digest, parsed: p})
+	m.n++
+	return nil
+}
+
+// Matches returns every entry scoring at least minScore against the query
+// digest, sorted by descending score (ties broken by label for determinism).
+func (m *Matcher) Matches(digest string, minScore int) ([]Match, error) {
+	q, err := ParseDigest(digest)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []Match
+	for _, bs := range comparableBlockSizes(q.BlockSize) {
+		for _, e := range m.byBlock[bs] {
+			score := CompareDigests(q, e.parsed, m.backend)
+			if score >= minScore {
+				out = append(out, Match{Label: e.Label, Digest: e.Digest, Score: score})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Label != out[j].Label {
+			return out[i].Label < out[j].Label
+		}
+		return out[i].Digest < out[j].Digest
+	})
+	return out, nil
+}
+
+// Best returns the highest-scoring match, or ok=false when nothing scores
+// above zero.
+func (m *Matcher) Best(digest string) (Match, bool, error) {
+	ms, err := m.Matches(digest, 1)
+	if err != nil || len(ms) == 0 {
+		return Match{}, false, err
+	}
+	return ms[0], true, nil
+}
+
+func comparableBlockSizes(bs uint32) []uint32 {
+	sizes := []uint32{bs, bs * 2}
+	if bs/2 >= blockMin && bs%2 == 0 {
+		sizes = append(sizes, bs/2)
+	}
+	return sizes
+}

@@ -1,0 +1,129 @@
+// Package strescan extracts printable character sequences from binary data,
+// equivalent to the strings(1) utility that SIREN mirrors when computing the
+// STRINGS_H fuzzy hash of an executable.
+//
+// A "printable string" is a maximal run of at least MinLength printable
+// bytes. By default the printable set matches strings(1): ASCII 0x20–0x7E
+// plus horizontal tab.
+package strescan
+
+import (
+	"bytes"
+	"io"
+)
+
+// DefaultMinLength is the minimum run length reported by default, matching
+// the strings(1) default of 4.
+const DefaultMinLength = 4
+
+// Options configure a scan.
+type Options struct {
+	// MinLength is the minimum printable-run length to report.
+	// Zero means DefaultMinLength.
+	MinLength int
+	// IncludeTab treats horizontal tab (0x09) as printable, as strings(1)
+	// does. Default true via DefaultOptions.
+	IncludeTab bool
+	// MaxStrings bounds the number of strings returned; zero means no bound.
+	MaxStrings int
+}
+
+// DefaultOptions returns the strings(1)-compatible configuration.
+func DefaultOptions() Options {
+	return Options{MinLength: DefaultMinLength, IncludeTab: true}
+}
+
+func (o Options) minLen() int {
+	if o.MinLength <= 0 {
+		return DefaultMinLength
+	}
+	return o.MinLength
+}
+
+func (o Options) printable(b byte) bool {
+	if b >= 0x20 && b <= 0x7E {
+		return true
+	}
+	return o.IncludeTab && b == '\t'
+}
+
+// Extract returns every printable string in data using DefaultOptions.
+func Extract(data []byte) []string {
+	return ExtractWith(data, DefaultOptions())
+}
+
+// ExtractWith returns every printable string in data subject to opts.
+func ExtractWith(data []byte, opts Options) []string {
+	minLen := opts.minLen()
+	var out []string
+	start := -1
+	for i, b := range data {
+		if opts.printable(b) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 && i-start >= minLen {
+			out = append(out, string(data[start:i]))
+			if opts.MaxStrings > 0 && len(out) >= opts.MaxStrings {
+				return out
+			}
+		}
+		start = -1
+	}
+	if start >= 0 && len(data)-start >= minLen {
+		out = append(out, string(data[start:]))
+	}
+	return out
+}
+
+// Dump renders all printable strings one per line, the form SIREN feeds to
+// the fuzzy hasher for STRINGS_H. Feeding the joined dump (rather than
+// hashing strings individually) preserves ordering information, so
+// reordered or inserted strings still yield similar digests.
+func Dump(data []byte) []byte {
+	return DumpWith(data, DefaultOptions())
+}
+
+// DumpWith is Dump with explicit options.
+func DumpWith(data []byte, opts Options) []byte {
+	ss := ExtractWith(data, opts)
+	var buf bytes.Buffer
+	for _, s := range ss {
+		buf.WriteString(s)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// Scan reads r to EOF and extracts printable strings with DefaultOptions.
+func Scan(r io.Reader) ([]string, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Extract(data), nil
+}
+
+// Count returns how many printable strings data contains without
+// materialising them.
+func Count(data []byte, opts Options) int {
+	minLen := opts.minLen()
+	n := 0
+	run := 0
+	for _, b := range data {
+		if opts.printable(b) {
+			run++
+			continue
+		}
+		if run >= minLen {
+			n++
+		}
+		run = 0
+	}
+	if run >= minLen {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,361 @@
+// Package toolchain simulates the compiler toolchains that produce HPC
+// application executables.
+//
+// The paper's evaluation depends on two properties of real builds that this
+// package reproduces synthetically:
+//
+//  1. Compilers record an identification string in the ELF .comment section
+//     ("GCC: (SUSE Linux) 13.3.0"); executables assembled from objects built
+//     by different toolchains accumulate several such strings (Table 6).
+//  2. Rebuilding the same source with a different compiler, version, or flag
+//     set yields a *mostly similar* binary: large stretches of machine code
+//     survive unchanged while call sites, scheduling, and literals shift.
+//     That is exactly the structure SSDeep fuzzy hashing exploits (Table 7).
+//
+// Compile is deterministic: identical (Source, BuildOptions) pairs produce
+// byte-identical artifacts, and near-identical inputs produce mostly
+// overlapping code, with divergence growing monotonically with source-level
+// distance (version bumps, code mutations) and, more weakly, with toolchain
+// changes.
+package toolchain
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"siren/internal/elfx"
+	"siren/internal/xxhash"
+)
+
+// Compiler identifies one toolchain: the tool plus the provenance of the
+// build that shipped it (the paper distinguishes e.g. "GCC [SUSE]" from
+// "GCC [Red Hat]").
+type Compiler struct {
+	Name       string // "GCC", "clang", "LLD", "rustc"
+	Provenance string // "SUSE", "AMD", "Cray", "Red Hat", "conda", "HPE", ""
+	Version    string // "13.3.0"
+}
+
+// Well-known toolchains appearing in the paper's Table 6 and Figure 4.
+var (
+	GCCSUSE   = Compiler{Name: "GCC", Provenance: "SUSE", Version: "13.3.0"}
+	GCCRedHat = Compiler{Name: "GCC", Provenance: "Red Hat", Version: "11.4.1"}
+	GCCConda  = Compiler{Name: "GCC", Provenance: "conda", Version: "12.4.0"}
+	GCCHPE    = Compiler{Name: "GCC", Provenance: "HPE", Version: "12.2.0"}
+	ClangCray = Compiler{Name: "clang", Provenance: "Cray", Version: "17.0.1"}
+	ClangAMD  = Compiler{Name: "clang", Provenance: "AMD", Version: "17.0.0"}
+	LLDAMD    = Compiler{Name: "LLD", Provenance: "AMD", Version: "17.0.0"}
+	Rustc     = Compiler{Name: "rustc", Provenance: "", Version: "1.77.0"}
+)
+
+// Label renders the compiler in the paper's "Name [Provenance]" table form.
+func (c Compiler) Label() string {
+	if c.Provenance == "" {
+		return c.Name
+	}
+	return c.Name + " [" + c.Provenance + "]"
+}
+
+// CommentString renders the .comment record this toolchain would leave in an
+// executable, in the style of the respective real tool.
+func (c Compiler) CommentString() string {
+	switch c.Name {
+	case "GCC":
+		prov := c.Provenance
+		if prov == "SUSE" {
+			prov = "SUSE Linux"
+		}
+		return fmt.Sprintf("GCC: (%s) %s", prov, c.Version)
+	case "clang":
+		return fmt.Sprintf("clang version %s (%s Inc.)", c.Version, c.Provenance)
+	case "LLD":
+		return fmt.Sprintf("Linker: LLD %s (%s)", c.Version, c.Provenance)
+	case "rustc":
+		return fmt.Sprintf("rustc version %s", c.Version)
+	default:
+		return fmt.Sprintf("%s %s (%s)", c.Name, c.Version, c.Provenance)
+	}
+}
+
+// ParseCommentLabel maps a .comment record back to the "Name [Provenance]"
+// label, the inverse of CommentString as used by the analysis layer.
+func ParseCommentLabel(comment string) string {
+	switch {
+	case strings.HasPrefix(comment, "GCC: ("):
+		prov := comment[len("GCC: ("):strings.Index(comment, ")")]
+		if prov == "SUSE Linux" {
+			prov = "SUSE"
+		}
+		return "GCC [" + prov + "]"
+	case strings.HasPrefix(comment, "clang version"):
+		i := strings.Index(comment, "(")
+		j := strings.Index(comment, " Inc.)")
+		if i >= 0 && j > i {
+			return "clang [" + comment[i+1:j] + "]"
+		}
+		return "clang"
+	case strings.HasPrefix(comment, "Linker: LLD"):
+		i := strings.Index(comment, "(")
+		j := strings.LastIndex(comment, ")")
+		if i >= 0 && j > i {
+			return "LLD [" + comment[i+1:j] + "]"
+		}
+		return "LLD"
+	case strings.HasPrefix(comment, "rustc version"):
+		return "rustc"
+	default:
+		return comment
+	}
+}
+
+// Source is a synthetic source package: the stable identity from which
+// machine code is generated. Two sources with the same Name and Functions
+// but different Version share most generated code.
+type Source struct {
+	Name      string   // software name, e.g. "icon"
+	Version   string   // release string, e.g. "2.6.4"
+	Functions []string // global function names (become SYMBOLS_H input)
+	Objects   []string // global data names
+	Strings   []string // additional .rodata strings (become STRINGS_H input)
+	CodeKB    int      // approximate .text size in KiB (default 32)
+}
+
+// BuildOptions steer one compilation of a Source.
+type BuildOptions struct {
+	Compilers []Compiler // contributing toolchains, in link order (≥1)
+	OptLevel  int        // 0-3; perturbs instruction selection slightly
+	Mutations int        // simulated local source edits since the pristine Version
+	Libraries []string   // DT_NEEDED sonames recorded by the link editor
+	Static    bool       // static link: no .dynamic section at all
+	Stripped  bool       // drop the symbol table (nm would print nothing)
+	ExtraTag  string     // extra .comment record (e.g. a wrapper's watermark)
+}
+
+// Artifact is the result of a Compile.
+type Artifact struct {
+	Binary    []byte   // complete ELF64 image
+	Compilers []string // .comment records, in order
+	Needed    []string // DT_NEEDED sonames
+	Symbols   []string // global symbol names
+}
+
+// Compile deterministically "builds" src with opts into an ELF artifact.
+func Compile(src Source, opts BuildOptions) (*Artifact, error) {
+	if len(opts.Compilers) == 0 {
+		return nil, fmt.Errorf("toolchain: no compilers given for %q", src.Name)
+	}
+	codeKB := src.CodeKB
+	if codeKB <= 0 {
+		codeKB = 32
+	}
+	funcs := src.Functions
+	if len(funcs) == 0 {
+		funcs = []string{"main"}
+	}
+
+	text := generateText(src, opts, codeKB<<10, funcs)
+	rodata := generateRodata(src, opts)
+
+	b := elfx.NewBuilder(elfx.ETExec, elfx.EMX8664)
+	b.SetEntry(0x401000)
+	b.SetText(text)
+	b.SetRodata(rodata)
+
+	var comments []string
+	for _, c := range opts.Compilers {
+		comments = append(comments, c.CommentString())
+	}
+	if opts.ExtraTag != "" {
+		comments = append(comments, opts.ExtraTag)
+	}
+	b.SetComment(comments...)
+
+	if !opts.Static {
+		for _, lib := range opts.Libraries {
+			b.AddNeeded(lib)
+		}
+		if len(opts.Libraries) == 0 {
+			// Every dynamically linked executable needs at least libc.
+			b.AddNeeded("libc.so.6")
+		}
+	}
+
+	var symNames []string
+	if !opts.Stripped {
+		addr := uint64(0x401000)
+		for _, fn := range funcs {
+			size := uint64(64 + xxhash.Sum64String(fn)%448)
+			b.AddGlobalFunc(fn, addr, size)
+			symNames = append(symNames, fn)
+			addr += size
+		}
+		for _, obj := range src.Objects {
+			size := uint64(8 + xxhash.Sum64String(obj)%120)
+			b.AddGlobalObject(obj, addr, size)
+			symNames = append(symNames, obj)
+			addr += size
+		}
+		// A couple of deterministic local symbols so the global filter has
+		// something to exclude.
+		b.AddLocalFunc("static_init_"+src.Name, addr, 16)
+		b.AddLocalFunc("static_fini_"+src.Name, addr+16, 16)
+	}
+
+	img, err := b.Bytes()
+	if err != nil {
+		return nil, fmt.Errorf("toolchain: building %s: %w", src.Name, err)
+	}
+	needed := opts.Libraries
+	if !opts.Static && len(needed) == 0 {
+		needed = []string{"libc.so.6"}
+	}
+	if opts.Static {
+		needed = nil
+	}
+	return &Artifact{
+		Binary:    img,
+		Compilers: comments,
+		Needed:    needed,
+		Symbols:   symNames,
+	}, nil
+}
+
+// generateText produces the synthetic machine code. The layout is a
+// concatenation of per-function blocks whose bytes derive only from the
+// function name and the source name — so rebuilding with a different
+// compiler/version preserves most bytes — followed by small deterministic
+// perturbation passes for version, toolchain, optimisation level, and local
+// mutations.
+func generateText(src Source, opts BuildOptions, size int, funcs []string) []byte {
+	text := make([]byte, size)
+	block := size / len(funcs)
+	if block == 0 {
+		block = size
+	}
+	for i, fn := range funcs {
+		lo := i * block
+		hi := lo + block
+		if i == len(funcs)-1 || hi > size {
+			hi = size
+		}
+		seed := int64(xxhash.Sum64String(src.Name + "\x00" + fn))
+		fillPseudoCode(text[lo:hi], seed)
+	}
+
+	// Version drift: each version string hashes to its own perturbation
+	// pattern touching ~4% of bytes. Different versions therefore diverge
+	// from the pristine build and from each other, but stay ~92% similar.
+	perturb(text, int64(xxhash.Sum64String("v\x00"+src.Name+"\x00"+src.Version)), 0.04)
+
+	// Toolchain fingerprint: ~1.5% of bytes per contributing compiler —
+	// enough to change FILE_H, small enough to keep high similarity.
+	for _, c := range opts.Compilers {
+		perturb(text, int64(xxhash.Sum64String("c\x00"+c.Label()+c.Version)), 0.015)
+	}
+	if opts.OptLevel > 0 {
+		perturb(text, int64(xxhash.Sum64String(fmt.Sprintf("O%d", opts.OptLevel))), 0.01*float64(opts.OptLevel))
+	}
+
+	// Local source edits: mutations rewrite 64-byte basic blocks, but real
+	// edits cluster in a few touched functions rather than scattering across
+	// the whole image — scattering would defeat fuzzy hashing in a way real
+	// code changes do not. One cluster per ~32 mutations.
+	if opts.Mutations > 0 && size >= 64 {
+		rng := rand.New(rand.NewSource(int64(xxhash.Sum64String(
+			fmt.Sprintf("m\x00%s\x00%s\x00%d", src.Name, src.Version, opts.Mutations)))))
+		clusters := 1 + opts.Mutations/32
+		perCluster := opts.Mutations * 64 / clusters
+		for c := 0; c < clusters; c++ {
+			n := perCluster
+			if n > size-1 {
+				n = size - 1
+			}
+			at := rng.Intn(size - n)
+			rng.Read(text[at : at+n])
+		}
+	}
+	return text
+}
+
+// fillPseudoCode writes x86-flavoured filler: repeated multi-byte opcode
+// templates with hash-derived operands, giving the byte stream the local
+// self-similarity of real object code rather than uniform noise.
+func fillPseudoCode(dst []byte, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	templates := [][]byte{
+		{0x55},                         // push rbp
+		{0x48, 0x89, 0xE5},             // mov rbp,rsp
+		{0x48, 0x83, 0xEC, 0x00},       // sub rsp,imm8
+		{0x48, 0x8B, 0x00},             // mov r,[r]
+		{0xE8, 0x00, 0x00, 0x00, 0x00}, // call rel32
+		{0x0F, 0x1F, 0x40, 0x00},       // nop dword
+		{0xC3},                         // ret
+		{0x48, 0x01, 0x00},             // add r,r
+		{0x89, 0x00},                   // mov r32,r32
+	}
+	i := 0
+	for i < len(dst) {
+		t := templates[rng.Intn(len(templates))]
+		n := copy(dst[i:], t)
+		// Patch operand placeholders with seeded bytes.
+		for j := 0; j < n; j++ {
+			if dst[i+j] == 0x00 {
+				dst[i+j] = byte(rng.Intn(256))
+			}
+		}
+		i += n
+	}
+}
+
+// perturb rewrites approximately frac of dst, concentrated in a handful of
+// contiguous regions chosen by the seeded generator. Build-to-build
+// differences in real binaries are clustered (changed functions, relocated
+// literal pools), not uniformly scattered; clustering is what lets CTPH
+// chunks away from the changes survive and keep the similarity score high.
+func perturb(dst []byte, seed int64, frac float64) {
+	if frac <= 0 || len(dst) < 64 {
+		return
+	}
+	total := int(float64(len(dst)) * frac)
+	if total < 16 {
+		total = 16
+	}
+	regions := 2 + int(frac*60) // ~3 regions at 1.5%, ~4-5 at 4%
+	per := total / regions
+	if per < 16 {
+		per = 16
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for r := 0; r < regions; r++ {
+		n := per
+		if n > len(dst)-1 {
+			n = len(dst) - 1
+		}
+		at := rng.Intn(len(dst) - n)
+		rng.Read(dst[at : at+n])
+	}
+}
+
+// generateRodata assembles the printable strings the binary carries: the
+// version banner, the declared strings, library name references, and a
+// per-compiler runtime tag. This is the STRINGS_H input.
+func generateRodata(src Source, opts BuildOptions) []byte {
+	var parts []string
+	parts = append(parts, fmt.Sprintf("%s version %s", src.Name, src.Version))
+	parts = append(parts, src.Strings...)
+	libs := append([]string(nil), opts.Libraries...)
+	sort.Strings(libs)
+	parts = append(parts, libs...)
+	for _, c := range opts.Compilers {
+		parts = append(parts, c.Label()+" runtime")
+	}
+	parts = append(parts, "usage: "+src.Name+" [options] <input>")
+	var sb strings.Builder
+	for _, p := range parts {
+		sb.WriteString(p)
+		sb.WriteByte(0)
+	}
+	return []byte(sb.String())
+}

@@ -1,0 +1,242 @@
+package toolchain
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"siren/internal/elfx"
+	"siren/internal/ssdeep"
+)
+
+var testSrc = Source{
+	Name:      "icon",
+	Version:   "2.6.4",
+	Functions: []string{"icon_init", "icon_run_timestep", "icon_output", "icon_finalize"},
+	Objects:   []string{"icon_grid", "icon_config"},
+	Strings:   []string{"ICON atmospheric model", "NetCDF output enabled"},
+	CodeKB:    64,
+}
+
+func compile(t *testing.T, src Source, opts BuildOptions) *Artifact {
+	t.Helper()
+	a, err := Compile(src, opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return a
+}
+
+func fuzzy(t *testing.T, data []byte) string {
+	t.Helper()
+	h, err := ssdeep.Hash(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func score(t *testing.T, a, b []byte) int {
+	t.Helper()
+	s, err := ssdeep.Compare(fuzzy(t, a), fuzzy(t, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	opts := BuildOptions{Compilers: []Compiler{GCCSUSE}, Libraries: []string{"libm.so.6"}}
+	a1 := compile(t, testSrc, opts)
+	a2 := compile(t, testSrc, opts)
+	if !bytes.Equal(a1.Binary, a2.Binary) {
+		t.Error("identical builds differ")
+	}
+}
+
+func TestCompileParsesAsELF(t *testing.T) {
+	a := compile(t, testSrc, BuildOptions{
+		Compilers: []Compiler{GCCSUSE, ClangCray},
+		Libraries: []string{"libnetcdf.so.19", "libm.so.6"},
+	})
+	f, err := elfx.Parse(a.Binary)
+	if err != nil {
+		t.Fatalf("artifact is not valid ELF: %v", err)
+	}
+	if got := f.Comment(); !reflect.DeepEqual(got, a.Compilers) {
+		t.Errorf("comment = %q, want %q", got, a.Compilers)
+	}
+	if got := f.Needed(); !reflect.DeepEqual(got, []string{"libnetcdf.so.19", "libm.so.6"}) {
+		t.Errorf("needed = %q", got)
+	}
+	globals, err := f.GlobalSymbolNames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]string{}, testSrc.Functions...), testSrc.Objects...)
+	if !reflect.DeepEqual(globals, want) {
+		t.Errorf("globals = %q, want %q", globals, want)
+	}
+}
+
+func TestStaticBinaryHasNoDynamic(t *testing.T) {
+	a := compile(t, testSrc, BuildOptions{Compilers: []Compiler{GCCSUSE}, Static: true})
+	f, err := elfx.Parse(a.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Needed() != nil {
+		t.Errorf("static binary has DT_NEEDED: %q", f.Needed())
+	}
+	if f.SectionByType(elfx.SHTDynamic) != nil {
+		t.Error("static binary has a .dynamic section")
+	}
+}
+
+func TestStrippedBinaryHasNoSymbols(t *testing.T) {
+	a := compile(t, testSrc, BuildOptions{Compilers: []Compiler{GCCSUSE}, Stripped: true})
+	f, err := elfx.Parse(a.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms, err := f.Symbols()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(syms) != 0 {
+		t.Errorf("stripped binary has %d symbols", len(syms))
+	}
+}
+
+func TestDefaultLibcWhenDynamic(t *testing.T) {
+	a := compile(t, testSrc, BuildOptions{Compilers: []Compiler{GCCSUSE}})
+	f, err := elfx.Parse(a.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Needed(); !reflect.DeepEqual(got, []string{"libc.so.6"}) {
+		t.Errorf("needed = %q, want implicit libc", got)
+	}
+}
+
+// The similarity ladder underpinning Table 7: identical builds score 100,
+// recompiles score very high, version bumps high, mutated builds lower,
+// different software near zero.
+func TestSimilarityLadder(t *testing.T) {
+	base := compile(t, testSrc, BuildOptions{Compilers: []Compiler{GCCSUSE}})
+
+	recompiled := compile(t, testSrc, BuildOptions{Compilers: []Compiler{ClangCray}})
+	sRecompile := score(t, base.Binary, recompiled.Binary)
+
+	bumped := testSrc
+	bumped.Version = "2.6.5"
+	sVersion := score(t, base.Binary, compile(t, bumped, BuildOptions{Compilers: []Compiler{GCCSUSE}}).Binary)
+
+	mutated := compile(t, testSrc, BuildOptions{Compilers: []Compiler{GCCSUSE}, Mutations: 120})
+	sMutated := score(t, base.Binary, mutated.Binary)
+
+	other := Source{Name: "gromacs", Version: "2024.1",
+		Functions: []string{"gmx_mdrun", "gmx_grompp"}, CodeKB: 64}
+	sOther := score(t, base.Binary, compile(t, other, BuildOptions{Compilers: []Compiler{GCCSUSE}}).Binary)
+
+	if s := score(t, base.Binary, base.Binary); s != 100 {
+		t.Errorf("self score = %d", s)
+	}
+	if sRecompile < 70 {
+		t.Errorf("recompile score = %d, want >= 70", sRecompile)
+	}
+	if sVersion < 50 {
+		t.Errorf("version-bump score = %d, want >= 50", sVersion)
+	}
+	if sMutated >= sRecompile {
+		t.Errorf("mutated (%d) should score below recompiled (%d)", sMutated, sRecompile)
+	}
+	if sOther > 5 {
+		t.Errorf("unrelated software score = %d, want <= 5", sOther)
+	}
+	t.Logf("ladder: recompile=%d version=%d mutated=%d other=%d", sRecompile, sVersion, sMutated, sOther)
+}
+
+func TestCompilerLabels(t *testing.T) {
+	cases := []struct {
+		c    Compiler
+		want string
+	}{
+		{GCCSUSE, "GCC [SUSE]"},
+		{GCCRedHat, "GCC [Red Hat]"},
+		{ClangCray, "clang [Cray]"},
+		{LLDAMD, "LLD [AMD]"},
+		{Rustc, "rustc"},
+	}
+	for _, c := range cases {
+		if got := c.c.Label(); got != c.want {
+			t.Errorf("Label(%+v) = %q, want %q", c.c, got, c.want)
+		}
+		// Comment string must round-trip back to the label.
+		if got := ParseCommentLabel(c.c.CommentString()); got != c.want {
+			t.Errorf("ParseCommentLabel(%q) = %q, want %q", c.c.CommentString(), got, c.want)
+		}
+	}
+}
+
+func TestNoCompilersRejected(t *testing.T) {
+	if _, err := Compile(testSrc, BuildOptions{}); err == nil {
+		t.Error("Compile without compilers must fail")
+	}
+}
+
+func TestExtraTagAppears(t *testing.T) {
+	a := compile(t, testSrc, BuildOptions{Compilers: []Compiler{GCCSUSE}, ExtraTag: "XALT watermark 2.10"})
+	f, err := elfx.Parse(a.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range f.Comment() {
+		if c == "XALT watermark 2.10" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("extra tag missing from comment: %q", f.Comment())
+	}
+}
+
+func TestRodataContainsDeclaredStrings(t *testing.T) {
+	a := compile(t, testSrc, BuildOptions{Compilers: []Compiler{GCCSUSE}, Libraries: []string{"libnetcdf.so.19"}})
+	f, err := elfx.Parse(a.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := f.Section(".rodata")
+	if ro == nil {
+		t.Fatal("no .rodata")
+	}
+	for _, want := range []string{"icon version 2.6.4", "ICON atmospheric model", "libnetcdf.so.19"} {
+		if !bytes.Contains(ro.Data, []byte(want)) {
+			t.Errorf(".rodata missing %q", want)
+		}
+	}
+}
+
+func TestMoreMutationsLowerSimilarity(t *testing.T) {
+	base := compile(t, testSrc, BuildOptions{Compilers: []Compiler{GCCSUSE}})
+	prev := 101
+	for _, m := range []int{0, 50, 200, 800} {
+		a := compile(t, testSrc, BuildOptions{Compilers: []Compiler{GCCSUSE}, Mutations: m})
+		s := score(t, base.Binary, a.Binary)
+		if s > prev {
+			t.Errorf("mutations=%d score %d > previous %d (not monotone)", m, s, prev)
+		}
+		prev = s
+	}
+}
+
+func BenchmarkCompile64K(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(testSrc, BuildOptions{Compilers: []Compiler{GCCSUSE, ClangCray}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzParse: Parse must never panic and must round-trip what Encode
+// produced, no matter how datagrams are mutated in flight.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte("SIREN1|JOBID=1|STEPID=0|PID=1|HASH=h|HOST=n|TIME=1|LAYER=SELF|TYPE=T|SEQ=0|TOT=1|CONTENT=x"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte(""))
+	f.Add(Encode(Message{Header: Header{JobID: "9", PID: 3, Layer: LayerScript,
+		Type: TypeFileH, Total: 1}, Content: []byte("3:abc:def")}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Anything that parses must re-encode to something that parses to
+		// the same message.
+		m2, err := Parse(Encode(m))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if m2.Header != m.Header || !bytes.Equal(m2.Content, m.Content) {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", m, m2)
+		}
+	})
+}
+
+// TestParseSurvivesRandomMutations complements the fuzz target for plain
+// `go test` runs: flip random bytes of valid datagrams and require no panic
+// and consistent accept/reject behaviour.
+func TestParseSurvivesRandomMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	base := Encode(Message{Header: sampleHeader(), Content: []byte("the payload, with | separators = and\nnewlines")})
+	for i := 0; i < 5000; i++ {
+		mutated := append([]byte(nil), base...)
+		for n := 1 + rng.Intn(4); n > 0; n-- {
+			mutated[rng.Intn(len(mutated))] = byte(rng.Intn(256))
+		}
+		m, err := Parse(mutated)
+		if err != nil {
+			continue
+		}
+		// Accepted: must survive a re-encode cycle.
+		if _, err := Parse(Encode(m)); err != nil {
+			t.Fatalf("accepted datagram failed round trip: %q", mutated)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package wire defines SIREN's UDP message format: a textual header carrying
+// the process identity (the columns of the receiver's database) followed by
+// a free-form content payload, with chunking for payloads that exceed a
+// datagram.
+//
+// Per the paper (§3.1 "UDP Message Sender"), each collected data category
+// travels as its own message; long categories (module lists, shared-object
+// lists) are split into chunks sent separately, and the header fields —
+// JOBID, STEPID, PID, HASH, HOST, TIME, LAYER, TYPE — let the receiver's
+// post-processing reassemble chunks and distinguish processes, including
+// exec()-reused PIDs, via the executable-path hash.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Message types: the data categories siren.so collects.
+const (
+	TypeMetadata   = "METADATA"    // process ids + executable file metadata
+	TypeObjects    = "OBJECTS"     // loaded shared objects, one path per line
+	TypeModules    = "MODULES"     // loaded modules, one per line
+	TypeCompilers  = "COMPILERS"   // .comment compiler records, one per line
+	TypeMaps       = "MAPS"        // /proc/self/maps text
+	TypeFileH      = "FILE_H"      // fuzzy hash of the raw executable (or script)
+	TypeStringsH   = "STRINGS_H"   // fuzzy hash of printable strings
+	TypeSymbolsH   = "SYMBOLS_H"   // fuzzy hash of global symbol names
+	TypeObjectsH   = "OBJECTS_H"   // fuzzy hash of the shared-object list
+	TypeModulesH   = "MODULES_H"   // fuzzy hash of the module list
+	TypeCompilersH = "COMPILERS_H" // fuzzy hash of the compiler list
+	TypeMapsH      = "MAPS_H"      // fuzzy hash of the memory map
+)
+
+// Layers distinguish the hooked process itself from a Python input script
+// whose data is collected by the interpreter's hook.
+const (
+	LayerSelf   = "SELF"
+	LayerScript = "SCRIPT"
+)
+
+// MaxDatagram is the default maximum datagram size the chunker targets;
+// conservative for typical MTUs so no IP fragmentation occurs.
+const MaxDatagram = 1400
+
+const magic = "SIREN1"
+
+// Header identifies the process and data category a message belongs to.
+// All fields map 1:1 onto database columns.
+type Header struct {
+	JobID  string // SLURM_JOB_ID value ("" outside Slurm)
+	StepID string // SLURM_STEP_ID value
+	PID    int
+	Hash   string // 128-bit hash of the executable path, 32 hex chars
+	Host   string
+	Time   int64  // collection unix time, one-second granularity
+	Layer  string // LayerSelf or LayerScript
+	Type   string // one of the Type* constants
+	Seq    int    // chunk index, 0-based
+	Total  int    // chunk count (>= 1)
+}
+
+// Key returns the grouping key shared by all chunks of one logical record:
+// everything except Seq/Total.
+func (h Header) Key() string {
+	return strings.Join([]string{h.JobID, h.StepID, strconv.Itoa(h.PID), h.Hash, h.Host,
+		strconv.FormatInt(h.Time, 10), h.Layer, h.Type}, "\x1f")
+}
+
+// ProcessKey groups all records of one process instance (all types).
+func (h Header) ProcessKey() string {
+	return strings.Join([]string{h.JobID, h.StepID, strconv.Itoa(h.PID), h.Hash, h.Host,
+		strconv.FormatInt(h.Time, 10)}, "\x1f")
+}
+
+// Message is one datagram: header plus content chunk.
+type Message struct {
+	Header
+	Content []byte
+}
+
+// Encode renders the message as a datagram. The content is last and raw, so
+// it may contain any bytes including the field separator.
+func Encode(m Message) []byte {
+	var sb strings.Builder
+	sb.Grow(128 + len(m.Content))
+	sb.WriteString(magic)
+	sb.WriteString("|JOBID=")
+	sb.WriteString(m.JobID)
+	sb.WriteString("|STEPID=")
+	sb.WriteString(m.StepID)
+	sb.WriteString("|PID=")
+	sb.WriteString(strconv.Itoa(m.PID))
+	sb.WriteString("|HASH=")
+	sb.WriteString(m.Hash)
+	sb.WriteString("|HOST=")
+	sb.WriteString(m.Host)
+	sb.WriteString("|TIME=")
+	sb.WriteString(strconv.FormatInt(m.Time, 10))
+	sb.WriteString("|LAYER=")
+	sb.WriteString(m.Layer)
+	sb.WriteString("|TYPE=")
+	sb.WriteString(m.Type)
+	sb.WriteString("|SEQ=")
+	sb.WriteString(strconv.Itoa(m.Seq))
+	sb.WriteString("|TOT=")
+	sb.WriteString(strconv.Itoa(m.Total))
+	sb.WriteString("|CONTENT=")
+	sb.WriteString(string(m.Content))
+	return []byte(sb.String())
+}
+
+// ErrMalformed is returned by Parse for datagrams that do not follow the
+// SIREN wire format. The receiver drops such datagrams (graceful failure).
+var ErrMalformed = errors.New("wire: malformed datagram")
+
+// Parse decodes a datagram produced by Encode.
+func Parse(datagram []byte) (Message, error) {
+	s := string(datagram)
+	if !strings.HasPrefix(s, magic+"|") {
+		return Message{}, fmt.Errorf("%w: bad magic", ErrMalformed)
+	}
+	s = s[len(magic)+1:]
+	var m Message
+	// Ten fixed fields before CONTENT; CONTENT consumes the rest verbatim.
+	fields := []string{"JOBID", "STEPID", "PID", "HASH", "HOST", "TIME", "LAYER", "TYPE", "SEQ", "TOT"}
+	for _, name := range fields {
+		prefix := name + "="
+		if !strings.HasPrefix(s, prefix) {
+			return Message{}, fmt.Errorf("%w: expected field %s", ErrMalformed, name)
+		}
+		s = s[len(prefix):]
+		sep := strings.IndexByte(s, '|')
+		if sep < 0 {
+			return Message{}, fmt.Errorf("%w: unterminated field %s", ErrMalformed, name)
+		}
+		val := s[:sep]
+		s = s[sep+1:]
+		var err error
+		switch name {
+		case "JOBID":
+			m.JobID = val
+		case "STEPID":
+			m.StepID = val
+		case "PID":
+			m.PID, err = strconv.Atoi(val)
+		case "HASH":
+			m.Hash = val
+		case "HOST":
+			m.Host = val
+		case "TIME":
+			m.Time, err = strconv.ParseInt(val, 10, 64)
+		case "LAYER":
+			m.Layer = val
+		case "TYPE":
+			m.Type = val
+		case "SEQ":
+			m.Seq, err = strconv.Atoi(val)
+		case "TOT":
+			m.Total, err = strconv.Atoi(val)
+		}
+		if err != nil {
+			return Message{}, fmt.Errorf("%w: field %s: %v", ErrMalformed, name, err)
+		}
+	}
+	if !strings.HasPrefix(s, "CONTENT=") {
+		return Message{}, fmt.Errorf("%w: missing CONTENT", ErrMalformed)
+	}
+	m.Content = []byte(s[len("CONTENT="):])
+	if m.Total < 1 || m.Seq < 0 || m.Seq >= m.Total {
+		return Message{}, fmt.Errorf("%w: chunk %d/%d out of range", ErrMalformed, m.Seq, m.Total)
+	}
+	return m, nil
+}
+
+// Chunk splits one logical record into datagrams no larger than maxSize.
+// Header overhead is measured per chunk; content is sliced to fit. A record
+// with empty content still produces one chunk (types like FILE_H always
+// announce themselves even when the hash is empty).
+func Chunk(h Header, content []byte, maxSize int) []Message {
+	if maxSize <= 0 {
+		maxSize = MaxDatagram
+	}
+	// Overhead of a chunk with worst-case SEQ/TOT digits.
+	probe := Message{Header: h}
+	probe.Seq, probe.Total = 999999, 999999
+	overhead := len(Encode(probe))
+	room := maxSize - overhead
+	if room < 16 {
+		room = 16 // pathological header: still make progress
+	}
+	n := (len(content) + room - 1) / room
+	if n == 0 {
+		n = 1
+	}
+	msgs := make([]Message, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * room
+		hi := lo + room
+		if hi > len(content) {
+			hi = len(content)
+		}
+		m := Message{Header: h, Content: content[lo:hi]}
+		m.Seq, m.Total = i, n
+		msgs = append(msgs, m)
+	}
+	return msgs
+}
+
+// Record is a reassembled logical record.
+type Record struct {
+	Header  Header // Seq/Total of the first chunk seen; Total meaningful
+	Content []byte
+	// Complete is false when chunks were lost in transit; Content then holds
+	// the concatenation of the chunks that did arrive, in order.
+	Complete bool
+}
+
+// Reassemble groups messages by record key and joins chunk contents. Records
+// with missing chunks are returned with Complete=false — SIREN keeps partial
+// data rather than discarding it (the fuzzy hashes of list categories remain
+// comparable even with gaps, which is why the lists are hashed as well).
+func Reassemble(msgs []Message) []Record {
+	type group struct {
+		header Header
+		chunks map[int][]byte
+		order  int // first-seen order for deterministic output
+	}
+	groups := make(map[string]*group)
+	var keys []string
+	for _, m := range msgs {
+		k := m.Key()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{header: m.Header, chunks: make(map[int][]byte)}
+			groups[k] = g
+			keys = append(keys, k)
+		}
+		g.chunks[m.Seq] = m.Content
+	}
+	out := make([]Record, 0, len(keys))
+	for _, k := range keys {
+		g := groups[k]
+		var content []byte
+		complete := true
+		for i := 0; i < g.header.Total; i++ {
+			chunk, ok := g.chunks[i]
+			if !ok {
+				complete = false
+				continue
+			}
+			content = append(content, chunk...)
+		}
+		out = append(out, Record{Header: g.header, Content: content, Complete: complete})
+	}
+	return out
+}

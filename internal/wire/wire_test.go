@@ -1,0 +1,283 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleHeader() Header {
+	return Header{
+		JobID: "8412345", StepID: "0", PID: 41923,
+		Hash: "0123456789abcdef0123456789abcdef",
+		Host: "nid001234", Time: 1733912345,
+		Layer: LayerSelf, Type: TypeObjects, Seq: 0, Total: 1,
+	}
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	m := Message{Header: sampleHeader(), Content: []byte("/lib64/libc.so.6\n/lib64/libm.so.6\n")}
+	got, err := Parse(Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestContentMayContainSeparators(t *testing.T) {
+	m := Message{Header: sampleHeader(), Content: []byte("weird|CONTENT=|JOBID=99|\x1f\x00 bytes")}
+	got, err := Parse(Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Content, m.Content) {
+		t.Errorf("content corrupted: %q", got.Content)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		[]byte("not siren"),
+		[]byte("SIREN1|nope"),
+		[]byte("SIREN1|JOBID=1|STEPID=0|PID=x|HASH=h|HOST=n|TIME=1|LAYER=SELF|TYPE=T|SEQ=0|TOT=1|CONTENT="),
+		[]byte("SIREN1|JOBID=1|STEPID=0|PID=1|HASH=h|HOST=n|TIME=1|LAYER=SELF|TYPE=T|SEQ=5|TOT=2|CONTENT="), // seq out of range
+		[]byte("SIREN1|JOBID=1|STEPID=0|PID=1|HASH=h|HOST=n|TIME=1|LAYER=SELF|TYPE=T|SEQ=0|TOT=0|CONTENT="), // total < 1
+	}
+	for i, d := range bad {
+		if _, err := Parse(d); err == nil {
+			t.Errorf("case %d: Parse accepted %q", i, d)
+		}
+	}
+}
+
+func TestChunkRespectsMaxSize(t *testing.T) {
+	h := sampleHeader()
+	content := bytes.Repeat([]byte("/opt/cray/pe/lib64/libsci_cray.so.6\n"), 200)
+	msgs := Chunk(h, content, MaxDatagram)
+	if len(msgs) < 2 {
+		t.Fatalf("expected multiple chunks, got %d", len(msgs))
+	}
+	var joined []byte
+	for i, m := range msgs {
+		d := Encode(m)
+		if len(d) > MaxDatagram {
+			t.Errorf("chunk %d is %d bytes > %d", i, len(d), MaxDatagram)
+		}
+		if m.Seq != i || m.Total != len(msgs) {
+			t.Errorf("chunk %d has seq=%d total=%d", i, m.Seq, m.Total)
+		}
+		joined = append(joined, m.Content...)
+	}
+	if !bytes.Equal(joined, content) {
+		t.Error("chunk contents do not concatenate to the original")
+	}
+}
+
+func TestChunkEmptyContent(t *testing.T) {
+	msgs := Chunk(sampleHeader(), nil, MaxDatagram)
+	if len(msgs) != 1 || msgs[0].Total != 1 {
+		t.Fatalf("empty content must yield one chunk: %+v", msgs)
+	}
+}
+
+func TestReassembleComplete(t *testing.T) {
+	h := sampleHeader()
+	content := bytes.Repeat([]byte("x"), 5000)
+	msgs := Chunk(h, content, 600)
+	// Shuffle delivery order: UDP does not guarantee ordering.
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(msgs), func(i, j int) { msgs[i], msgs[j] = msgs[j], msgs[i] })
+	recs := Reassemble(msgs)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if !recs[0].Complete {
+		t.Error("record should be complete")
+	}
+	if !bytes.Equal(recs[0].Content, content) {
+		t.Error("content mismatch after reassembly")
+	}
+}
+
+func TestReassembleWithLoss(t *testing.T) {
+	h := sampleHeader()
+	content := []byte(strings.Repeat("ABCDEFGH", 1000))
+	msgs := Chunk(h, content, 600)
+	lost := msgs[2]
+	msgs = append(msgs[:2], msgs[3:]...)
+	recs := Reassemble(msgs)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Complete {
+		t.Error("record must be marked incomplete")
+	}
+	if len(recs[0].Content) != len(content)-len(lost.Content) {
+		t.Errorf("partial content length %d, want %d", len(recs[0].Content), len(content)-len(lost.Content))
+	}
+}
+
+func TestReassembleSeparatesTypesAndProcesses(t *testing.T) {
+	h1 := sampleHeader()
+	h2 := sampleHeader()
+	h2.Type = TypeModules
+	h3 := sampleHeader()
+	h3.PID = 999 // different process, same everything else
+	var msgs []Message
+	msgs = append(msgs, Chunk(h1, []byte("objects"), 0)...)
+	msgs = append(msgs, Chunk(h2, []byte("modules"), 0)...)
+	msgs = append(msgs, Chunk(h3, []byte("objects2"), 0)...)
+	recs := Reassemble(msgs)
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+}
+
+func TestExecPIDReuseDistinguishedByHash(t *testing.T) {
+	// Same PID, same second, different executable → different HASH field →
+	// distinct records (the paper's exec() disambiguation).
+	h1 := sampleHeader()
+	h2 := sampleHeader()
+	h2.Hash = "ffffffffffffffffffffffffffffffff"
+	msgs := append(Chunk(h1, []byte("bash"), 0), Chunk(h2, []byte("a.out"), 0)...)
+	recs := Reassemble(msgs)
+	if len(recs) != 2 {
+		t.Fatalf("exec-reused PID collapsed into %d record(s)", len(recs))
+	}
+	if recs[0].Header.ProcessKey() == recs[1].Header.ProcessKey() {
+		t.Error("process keys must differ when the executable hash differs")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(job, step, host string, pid uint16, tm int64, content []byte) bool {
+		h := Header{
+			JobID: sanitize(job), StepID: sanitize(step), PID: int(pid),
+			Hash: "00ff", Host: sanitize(host), Time: tm,
+			Layer: LayerSelf, Type: TypeMetadata, Seq: 0, Total: 1,
+		}
+		m := Message{Header: h, Content: content}
+		got, err := Parse(Encode(m))
+		if err != nil {
+			return false
+		}
+		if len(content) == 0 && len(got.Content) == 0 {
+			got.Content = content
+		}
+		return reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sanitize strips '|' and '=' which header fields may not contain (they are
+// env-derived identifiers; siren.so applies the same restriction).
+func sanitize(s string) string {
+	s = strings.ReplaceAll(s, "|", "_")
+	s = strings.ReplaceAll(s, "=", "_")
+	if len(s) > 64 {
+		s = s[:64]
+	}
+	return s
+}
+
+func TestChanTransport(t *testing.T) {
+	tr := NewChanTransport(4)
+	if err := tr.Send([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	got := <-tr.C()
+	if string(got) != "one" {
+		t.Errorf("got %q", got)
+	}
+	// Overflow drops.
+	for i := 0; i < 10; i++ {
+		tr.Send([]byte("x"))
+	}
+	if tr.Dropped != 6 {
+		t.Errorf("Dropped = %d, want 6", tr.Dropped)
+	}
+	tr.Close()
+	if err := tr.Send([]byte("after close")); err == nil {
+		t.Error("send after close should fail")
+	}
+}
+
+func TestLossyTransport(t *testing.T) {
+	inner := NewChanTransport(100000)
+	lossy := NewLossyTransport(inner, 0.1, 42)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if err := lossy.Send([]byte("d")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rate := float64(lossy.Dropped) / n
+	if rate < 0.08 || rate > 0.12 {
+		t.Errorf("observed loss rate %.3f, want ~0.10", rate)
+	}
+	if lossy.Sent+lossy.Dropped != n {
+		t.Error("sent+dropped != total")
+	}
+}
+
+func TestUDPTransportLoopback(t *testing.T) {
+	// Round-trip one datagram over a real UDP socket.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	tr, err := DialUDP(pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	m := Message{Header: sampleHeader(), Content: []byte("over the wire")}
+	if err := tr.Send(Encode(m)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 65536)
+	n, _, err := pc.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Content) != "over the wire" {
+		t.Errorf("content = %q", got.Content)
+	}
+}
+
+func BenchmarkEncodeParse(b *testing.B) {
+	m := Message{Header: sampleHeader(), Content: bytes.Repeat([]byte("lib\n"), 100)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(Encode(m)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChunkReassemble64K(b *testing.B) {
+	h := sampleHeader()
+	content := bytes.Repeat([]byte("y"), 64<<10)
+	b.SetBytes(int64(len(content)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		recs := Reassemble(Chunk(h, content, MaxDatagram))
+		if len(recs) != 1 || !recs[0].Complete {
+			b.Fatal("bad reassembly")
+		}
+	}
+}

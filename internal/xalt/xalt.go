@@ -1,0 +1,139 @@
+// Package xalt implements an XALT-style baseline collector for comparison
+// with SIREN (paper §5, Related Work).
+//
+// XALT also hooks processes via LD_PRELOAD, but differs in the two ways the
+// paper contrasts:
+//
+//   - it identifies executables by a *cryptographic* hash (sha1), so any
+//     rebuild — new compiler, bumped version, one-line patch — produces an
+//     unrelated identifier and recognition fails (the avalanche effect);
+//   - it emits one JSON file per hooked process instead of fire-and-forget
+//     UDP, trading robustness for filesystem load.
+//
+// The Index type provides exact-hash recognition; the ablation bench
+// contrasts its recall across recompiled variants with SIREN's fuzzy
+// matching.
+package xalt
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"siren/internal/lmod"
+	"siren/internal/slurm"
+)
+
+// Record is one XALT-style process record.
+type Record struct {
+	JobID   string   `json:"job_id"`
+	PID     int      `json:"pid"`
+	Exe     string   `json:"exe"`
+	SHA1    string   `json:"sha1"`
+	Modules []string `json:"modules,omitempty"`
+	Objects []string `json:"objects,omitempty"`
+	Time    int64    `json:"time"`
+}
+
+// Sha1Hex returns the hex sha1 of data — XALT's executable identifier.
+func Sha1Hex(data []byte) string {
+	sum := sha1.Sum(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Collector implements slurm.Hook, writing one JSON file per process into
+// Dir (XALT's collection model). A nil Dir collects in memory only.
+type Collector struct {
+	Dir     string
+	mu      sync.Mutex
+	records []Record
+	files   atomic.Int64
+	errs    atomic.Int64
+}
+
+// New returns a collector writing JSON files under dir ("" = memory only).
+func New(dir string) *Collector { return &Collector{Dir: dir} }
+
+// Records returns the collected records (copy).
+func (c *Collector) Records() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Record(nil), c.records...)
+}
+
+// FilesWritten reports how many JSON files were created.
+func (c *Collector) FilesWritten() int64 { return c.files.Load() }
+
+// Errors reports swallowed failures.
+func (c *Collector) Errors() int64 { return c.errs.Load() }
+
+// OnProcessStart hashes the executable and records the environment.
+func (c *Collector) OnProcessStart(ev slurm.ProcessEvent) {
+	img, err := ev.FS.ReadFile(ev.Proc.Exe)
+	if err != nil {
+		c.errs.Add(1)
+		return
+	}
+	rec := Record{
+		JobID:   ev.Proc.Getenv("SLURM_JOB_ID"),
+		PID:     ev.Proc.PID,
+		Exe:     ev.Proc.Exe,
+		SHA1:    Sha1Hex(img),
+		Modules: lmod.ParseLoadedModules(ev.Proc.Getenv("LOADEDMODULES")),
+		Objects: ev.Link.LoadedPaths(),
+		Time:    ev.Time,
+	}
+	c.mu.Lock()
+	c.records = append(c.records, rec)
+	c.mu.Unlock()
+
+	if c.Dir == "" {
+		return
+	}
+	// One file per process — the failure mode SIREN's UDP design avoids.
+	name := fmt.Sprintf("xalt_%s_%d_%d.json", rec.JobID, rec.PID, rec.Time)
+	data, err := json.Marshal(rec)
+	if err != nil {
+		c.errs.Add(1)
+		return
+	}
+	if err := os.WriteFile(filepath.Join(c.Dir, name), data, 0o644); err != nil {
+		c.errs.Add(1)
+		return
+	}
+	c.files.Add(1)
+}
+
+// OnProcessExit is a no-op: XALT's link-time record has no destructor data
+// we model.
+func (c *Collector) OnProcessExit(ev slurm.ProcessEvent) {}
+
+var _ slurm.Hook = (*Collector)(nil)
+
+// Index supports exact-hash recognition over collected records.
+type Index struct {
+	byHash map[string][]Record
+}
+
+// NewIndex builds an index over records.
+func NewIndex(records []Record) *Index {
+	idx := &Index{byHash: make(map[string][]Record)}
+	for _, r := range records {
+		idx.byHash[r.SHA1] = append(idx.byHash[r.SHA1], r)
+	}
+	return idx
+}
+
+// Recognize returns records with exactly this sha1 — the only recognition
+// XALT-style cryptographic hashing supports.
+func (idx *Index) Recognize(sha1hex string) []Record {
+	return idx.byHash[sha1hex]
+}
+
+// Len reports the number of distinct hashes.
+func (idx *Index) Len() int { return len(idx.byHash) }

@@ -1,0 +1,136 @@
+package xalt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"siren/internal/ldso"
+	"siren/internal/procfs"
+	"siren/internal/slurm"
+	"siren/internal/ssdeep"
+	"siren/internal/toolchain"
+)
+
+func world(t *testing.T, hookDir string) (*slurm.Runtime, *Collector) {
+	t.Helper()
+	fs := procfs.NewFS()
+	cache := ldso.NewCache()
+	cache.Register(ldso.Library{Soname: "libc.so.6", Path: "/lib64/libc.so.6"})
+	cache.Register(ldso.Library{Soname: "xalt.so", Path: "/opt/xalt/lib/xalt.so"})
+	fs.Install("/lib64/libc.so.6", []byte("so"), procfs.FileMeta{})
+	fs.Install("/opt/xalt/lib/xalt.so", []byte("so"), procfs.FileMeta{})
+	art, err := toolchain.Compile(
+		toolchain.Source{Name: "app", Version: "1.0", Functions: []string{"main"}},
+		toolchain.BuildOptions{Compilers: []toolchain.Compiler{toolchain.GCCSUSE}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Install("/users/u/app", art.Binary, procfs.FileMeta{})
+
+	col := New(hookDir)
+	rt := slurm.NewRuntime(fs, procfs.NewTable(0), cache, slurm.NewClock(1733900000))
+	rt.Hook = col
+	rt.HookSO = "xalt.so"
+	return rt, col
+}
+
+func xaltEnv() map[string]string {
+	return map[string]string{
+		"LD_PRELOAD":    "/opt/xalt/lib/xalt.so",
+		"SLURM_JOB_ID":  "12",
+		"LOADEDMODULES": "gcc/13.3.0",
+	}
+}
+
+func TestCollectAndIndex(t *testing.T) {
+	dir := t.TempDir()
+	rt, col := world(t, dir)
+	if _, err := rt.Run("/users/u/app", slurm.ExecOptions{PPID: 1, Env: xaltEnv()}, nil); err != nil {
+		t.Fatal(err)
+	}
+	recs := col.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	r := recs[0]
+	if r.JobID != "12" || len(r.SHA1) != 40 || len(r.Modules) != 1 {
+		t.Errorf("record = %+v", r)
+	}
+	if col.FilesWritten() != 1 {
+		t.Errorf("files = %d", col.FilesWritten())
+	}
+	files, _ := os.ReadDir(dir)
+	if len(files) != 1 || filepath.Ext(files[0].Name()) != ".json" {
+		t.Errorf("dir = %v", files)
+	}
+
+	idx := NewIndex(recs)
+	if got := idx.Recognize(r.SHA1); len(got) != 1 {
+		t.Errorf("Recognize = %v", got)
+	}
+	if got := idx.Recognize("0000000000000000000000000000000000000000"); got != nil {
+		t.Errorf("bogus hash recognised: %v", got)
+	}
+	if idx.Len() != 1 {
+		t.Errorf("Len = %d", idx.Len())
+	}
+}
+
+// TestAvalancheDefeatsExactHash is the core contrast with SIREN: a recompile
+// changes sha1 completely, so exact-hash recognition fails while fuzzy
+// similarity remains high.
+func TestAvalancheDefeatsExactHash(t *testing.T) {
+	src := toolchain.Source{Name: "icon", Version: "2.6.4",
+		Functions: []string{"icon_run"}, CodeKB: 64}
+	a1, err := toolchain.Compile(src, toolchain.BuildOptions{Compilers: []toolchain.Compiler{toolchain.GCCSUSE}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := toolchain.Compile(src, toolchain.BuildOptions{Compilers: []toolchain.Compiler{toolchain.ClangCray}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Sha1Hex(a1.Binary) == Sha1Hex(a2.Binary) {
+		t.Fatal("recompile should change sha1")
+	}
+	idx := NewIndex([]Record{{Exe: "/x/icon", SHA1: Sha1Hex(a1.Binary)}})
+	if got := idx.Recognize(Sha1Hex(a2.Binary)); got != nil {
+		t.Error("exact hash must not recognise the recompile")
+	}
+	h1, _ := ssdeep.Hash(a1.Binary)
+	h2, _ := ssdeep.Hash(a2.Binary)
+	score, err := ssdeep.Compare(h1, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 60 {
+		t.Errorf("fuzzy score across recompile = %d, want >= 60", score)
+	}
+}
+
+func TestMemoryOnlyMode(t *testing.T) {
+	rt, col := world(t, "")
+	if _, err := rt.Run("/users/u/app", slurm.ExecOptions{PPID: 1, Env: xaltEnv()}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if col.FilesWritten() != 0 || len(col.Records()) != 1 {
+		t.Error("memory-only mode misbehaved")
+	}
+}
+
+func TestGracefulOnMissingExe(t *testing.T) {
+	rt, col := world(t, "")
+	// Simulate a hook event whose exe vanished between exec and collection.
+	ev := slurm.ProcessEvent{
+		Proc: &procfs.Proc{Exe: "/gone", Env: xaltEnv()},
+		Link: &ldso.LinkResult{},
+		FS:   procfs.NewFS(),
+		Time: 1,
+	}
+	_ = rt
+	col.OnProcessStart(ev)
+	if col.Errors() != 1 || len(col.Records()) != 0 {
+		t.Errorf("errors=%d records=%d", col.Errors(), len(col.Records()))
+	}
+}

@@ -1,0 +1,236 @@
+// Package xxhash implements the XXH64 fast non-cryptographic hash and a
+// 128-bit composition used by SIREN to fingerprint executable paths.
+//
+// SIREN hashes the path read from /proc/self/exe with a 128-bit xxHash
+// (XXH3_128bits in the C implementation) purely to disambiguate database
+// rows when a process image is replaced via exec() under the same PID and
+// timestamp. The hash is neither cryptographic nor fuzzy and is never
+// analysed, so the only properties that matter are speed and dispersion.
+//
+// Sum64 is a faithful implementation of the published XXH64 algorithm
+// (same constants and mixing schedule, so values match the reference for
+// any seed). Sum128 composes two independently seeded XXH64 lanes with an
+// extra avalanche finalisation; it is NOT bit-compatible with reference
+// XXH3_128bits (documented substitution — see DESIGN.md §1).
+package xxhash
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+const (
+	prime1 uint64 = 0x9E3779B185EBCA87
+	prime2 uint64 = 0xC2B2AE3D27D4EB4F
+	prime3 uint64 = 0x165667B19E3779F9
+	prime4 uint64 = 0x85EBCA77C2B2AE63
+	prime5 uint64 = 0x27D4EB2F165667C5
+)
+
+// Sum64 returns the XXH64 hash of data with seed 0.
+func Sum64(data []byte) uint64 { return Sum64Seed(data, 0) }
+
+// Sum64String is Sum64 over the bytes of s.
+func Sum64String(s string) uint64 { return Sum64Seed([]byte(s), 0) }
+
+// Sum64Seed returns the XXH64 hash of data with the given seed.
+func Sum64Seed(data []byte, seed uint64) uint64 {
+	n := len(data)
+	var h uint64
+
+	if n >= 32 {
+		v1 := seed + prime1 + prime2
+		v2 := seed + prime2
+		v3 := seed
+		v4 := seed - prime1
+		for len(data) >= 32 {
+			v1 = round(v1, binary.LittleEndian.Uint64(data[0:8]))
+			v2 = round(v2, binary.LittleEndian.Uint64(data[8:16]))
+			v3 = round(v3, binary.LittleEndian.Uint64(data[16:24]))
+			v4 = round(v4, binary.LittleEndian.Uint64(data[24:32]))
+			data = data[32:]
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = mergeRound(h, v1)
+		h = mergeRound(h, v2)
+		h = mergeRound(h, v3)
+		h = mergeRound(h, v4)
+	} else {
+		h = seed + prime5
+	}
+
+	h += uint64(n)
+
+	for len(data) >= 8 {
+		h ^= round(0, binary.LittleEndian.Uint64(data[:8]))
+		h = bits.RotateLeft64(h, 27)*prime1 + prime4
+		data = data[8:]
+	}
+	if len(data) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(data[:4])) * prime1
+		h = bits.RotateLeft64(h, 23)*prime2 + prime3
+		data = data[4:]
+	}
+	for _, b := range data {
+		h ^= uint64(b) * prime5
+		h = bits.RotateLeft64(h, 11) * prime1
+	}
+
+	return avalanche(h)
+}
+
+func round(acc, input uint64) uint64 {
+	acc += input * prime2
+	acc = bits.RotateLeft64(acc, 31)
+	return acc * prime1
+}
+
+func mergeRound(acc, val uint64) uint64 {
+	acc ^= round(0, val)
+	return acc*prime1 + prime4
+}
+
+func avalanche(h uint64) uint64 {
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+// Sum128 is a 128-bit hash value.
+type Sum128 struct {
+	Hi, Lo uint64
+}
+
+// IsZero reports whether the value is the all-zero hash (never produced for
+// any input, so usable as a sentinel).
+func (s Sum128) IsZero() bool { return s.Hi == 0 && s.Lo == 0 }
+
+// Hex renders the 128-bit value as 32 lowercase hex digits.
+func (s Sum128) Hex() string {
+	const digits = "0123456789abcdef"
+	var out [32]byte
+	v := s.Hi
+	for i := 15; i >= 0; i-- {
+		out[i] = digits[v&0xF]
+		v >>= 4
+	}
+	v = s.Lo
+	for i := 31; i >= 16; i-- {
+		out[i] = digits[v&0xF]
+		v >>= 4
+	}
+	return string(out[:])
+}
+
+// Hash128 returns a 128-bit hash of data: two independently seeded XXH64
+// lanes cross-mixed with an extra avalanche so the halves are not trivially
+// correlated.
+func Hash128(data []byte) Sum128 {
+	lo := Sum64Seed(data, 0)
+	hi := Sum64Seed(data, prime5)
+	// Cross-mix so that (lo, hi) pairs from related seeds do not align.
+	mixedHi := avalanche(hi ^ bits.RotateLeft64(lo, 32) ^ uint64(len(data))*prime3)
+	mixedLo := avalanche(lo ^ bits.RotateLeft64(hi, 17) + prime4)
+	if mixedHi == 0 && mixedLo == 0 {
+		mixedLo = prime1 // keep the zero value reserved as a sentinel
+	}
+	return Sum128{Hi: mixedHi, Lo: mixedLo}
+}
+
+// Hash128String is Hash128 over the bytes of s.
+func Hash128String(s string) Sum128 { return Hash128([]byte(s)) }
+
+// Digest64 is a streaming XXH64 state implementing a subset of hash.Hash64.
+type Digest64 struct {
+	v1, v2, v3, v4 uint64
+	total          uint64
+	mem            [32]byte
+	memSize        int
+	seed           uint64
+}
+
+// NewDigest64 returns a streaming XXH64 hasher with the given seed.
+func NewDigest64(seed uint64) *Digest64 {
+	d := &Digest64{seed: seed}
+	d.Reset()
+	return d
+}
+
+// Reset restores the initial state.
+func (d *Digest64) Reset() {
+	d.v1 = d.seed + prime1 + prime2
+	d.v2 = d.seed + prime2
+	d.v3 = d.seed
+	d.v4 = d.seed - prime1
+	d.total = 0
+	d.memSize = 0
+}
+
+// Write absorbs p into the state. It never fails.
+func (d *Digest64) Write(p []byte) (int, error) {
+	n := len(p)
+	d.total += uint64(n)
+	if d.memSize+len(p) < 32 {
+		copy(d.mem[d.memSize:], p)
+		d.memSize += len(p)
+		return n, nil
+	}
+	if d.memSize > 0 {
+		c := copy(d.mem[d.memSize:], p)
+		d.v1 = round(d.v1, binary.LittleEndian.Uint64(d.mem[0:8]))
+		d.v2 = round(d.v2, binary.LittleEndian.Uint64(d.mem[8:16]))
+		d.v3 = round(d.v3, binary.LittleEndian.Uint64(d.mem[16:24]))
+		d.v4 = round(d.v4, binary.LittleEndian.Uint64(d.mem[24:32]))
+		p = p[c:]
+		d.memSize = 0
+	}
+	for len(p) >= 32 {
+		d.v1 = round(d.v1, binary.LittleEndian.Uint64(p[0:8]))
+		d.v2 = round(d.v2, binary.LittleEndian.Uint64(p[8:16]))
+		d.v3 = round(d.v3, binary.LittleEndian.Uint64(p[16:24]))
+		d.v4 = round(d.v4, binary.LittleEndian.Uint64(p[24:32]))
+		p = p[32:]
+	}
+	if len(p) > 0 {
+		copy(d.mem[:], p)
+		d.memSize = len(p)
+	}
+	return n, nil
+}
+
+// Sum64 finalises the state without consuming it.
+func (d *Digest64) Sum64() uint64 {
+	var h uint64
+	if d.total >= 32 {
+		h = bits.RotateLeft64(d.v1, 1) + bits.RotateLeft64(d.v2, 7) +
+			bits.RotateLeft64(d.v3, 12) + bits.RotateLeft64(d.v4, 18)
+		h = mergeRound(h, d.v1)
+		h = mergeRound(h, d.v2)
+		h = mergeRound(h, d.v3)
+		h = mergeRound(h, d.v4)
+	} else {
+		h = d.seed + prime5
+	}
+	h += d.total
+
+	tail := d.mem[:d.memSize]
+	for len(tail) >= 8 {
+		h ^= round(0, binary.LittleEndian.Uint64(tail[:8]))
+		h = bits.RotateLeft64(h, 27)*prime1 + prime4
+		tail = tail[8:]
+	}
+	if len(tail) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(tail[:4])) * prime1
+		h = bits.RotateLeft64(h, 23)*prime2 + prime3
+		tail = tail[4:]
+	}
+	for _, b := range tail {
+		h ^= uint64(b) * prime5
+		h = bits.RotateLeft64(h, 11) * prime1
+	}
+	return avalanche(h)
+}
