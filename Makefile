@@ -1,0 +1,38 @@
+# Local targets mirror .github/workflows/ci.yml step for step, so a green
+# `make ci` locally means a green CI run.
+
+GO ?= go
+
+.PHONY: build test test-race vet fmt fmt-check lint bench bench-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Fails when any file is not gofmt-clean (prints the offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+lint: vet fmt-check
+
+# Full benchmark suite (regenerates the evaluation tables alongside timings).
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# One iteration per benchmark: proves every bench still compiles and runs.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+ci: build vet fmt-check test-race bench-smoke

@@ -1,11 +1,14 @@
 // Command siren-receiver is the standalone UDP message receiver: it binds a
-// socket, funnels datagrams through a buffered channel into the WAL-backed
-// database, and reports statistics on shutdown (SIGINT/SIGTERM) — the Go
-// receiver of the paper's architecture (Figure 1).
+// socket, funnels datagrams through hash-partitioned writer shards into the
+// WAL-backed database, logs a periodic stats line, and reports final
+// statistics on shutdown (SIGINT/SIGTERM) — the Go receiver of the paper's
+// architecture (Figure 1), scaled out per DESIGN.md.
 //
 // Usage:
 //
 //	siren-receiver [-addr 0.0.0.0:8787] [-db siren.wal]
+//	               [-readers N] [-writers M] [-depth D] [-batch B]
+//	               [-rcvbuf BYTES] [-stats-interval 10s]
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"siren/internal/receiver"
 	"siren/internal/sirendb"
@@ -22,13 +26,25 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8787", "UDP listen address")
 	dbPath := flag.String("db", "siren.wal", "WAL file for the message store")
+	readers := flag.Int("readers", 0, "UDP reader goroutines (0 = auto)")
+	writers := flag.Int("writers", 0, "writer shards, hash-partitioned by (JobID, Host) (0 = default)")
+	depth := flag.Int("depth", 0, "total buffered-channel capacity across shards (0 = default)")
+	batch := flag.Int("batch", 0, "max messages per database insert batch (0 = default)")
+	rcvbuf := flag.Int("rcvbuf", 0, "requested SO_RCVBUF in bytes (0 = default 4 MiB)")
+	statsEvery := flag.Duration("stats-interval", 10*time.Second, "period of the stats log line (0 disables)")
 	flag.Parse()
 
 	db, err := sirendb.Open(*dbPath)
 	if err != nil {
 		fatal(err)
 	}
-	rcv := receiver.New(db, receiver.Options{})
+	rcv := receiver.New(db, receiver.Options{
+		Depth:      *depth,
+		BatchMax:   *batch,
+		Readers:    *readers,
+		Writers:    *writers,
+		ReadBuffer: *rcvbuf,
+	})
 	bound, err := rcv.ListenUDP(*addr)
 	if err != nil {
 		fatal(err)
@@ -36,16 +52,31 @@ func main() {
 	fmt.Printf("siren-receiver: listening on %s, storing to %s (%d replayed rows)\n",
 		bound, *dbPath, db.Count())
 
+	stop := make(chan struct{})
+	if *statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(*statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					fmt.Printf("siren-receiver: %s rows=%d\n", rcv.Stats(), db.Count())
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
+	close(stop)
 
 	if err := rcv.Close(); err != nil {
 		fatal(err)
 	}
-	st := rcv.Stats()
-	fmt.Printf("siren-receiver: received=%d inserted=%d malformed=%d dropped=%d rows=%d\n",
-		st.Received.Load(), st.Inserted.Load(), st.Malformed.Load(), st.Dropped.Load(), db.Count())
+	fmt.Printf("siren-receiver: %s rows=%d\n", rcv.Stats(), db.Count())
 	if err := db.Close(); err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,3 @@
+module siren
+
+go 1.24

@@ -13,7 +13,10 @@ import (
 // or lightly modified binaries land in one cluster.
 type Cluster struct {
 	// Members are the distinct executables (one representative record per
-	// unique FILE_H), sorted by path.
+	// unique (FILE_H, path) pair), sorted by path. Keying on the pair keeps
+	// membership deterministic when two paths share one binary — the
+	// UNKNOWN a.out that is byte-identical to an icon build must surface
+	// under its own path regardless of record arrival order.
 	Members []*postprocess.ProcessRecord
 	// Labels are the distinct derived labels of the members, sorted. A
 	// healthy cluster has one label (plus possibly UNKNOWN — which is how
@@ -55,15 +58,21 @@ func (d *Dataset) SimilarityClusters(threshold int, backend ssdeep.Backend) []Cl
 		if r.Category != "user" || r.FileH == "" {
 			continue
 		}
-		if b, ok := index[r.FileH]; ok {
+		key := r.FileH + "\x1f" + r.Exe
+		if b, ok := index[key]; ok {
 			b.procs++
 			continue
 		}
 		b := &bin{rec: r, procs: 1}
-		index[r.FileH] = b
+		index[key] = b
 		bins = append(bins, b)
 	}
-	sort.Slice(bins, func(i, j int) bool { return bins[i].rec.Exe < bins[j].rec.Exe })
+	sort.Slice(bins, func(i, j int) bool {
+		if bins[i].rec.Exe != bins[j].rec.Exe {
+			return bins[i].rec.Exe < bins[j].rec.Exe
+		}
+		return bins[i].rec.FileH < bins[j].rec.FileH
+	})
 
 	// Union-find over pairwise scores, pruned by the block-size bucketing
 	// inside the Matcher.
@@ -86,16 +95,21 @@ func (d *Dataset) SimilarityClusters(threshold int, backend ssdeep.Backend) []Cl
 	}
 
 	digests := make([]ssdeep.Digest, len(bins))
+	valid := make([]bool, len(bins))
 	for i, b := range bins {
 		dg, err := ssdeep.ParseDigest(b.rec.FileH)
 		if err != nil {
-			continue
+			continue // unparseable digest: the bin stays a singleton
 		}
 		digests[i] = dg
+		valid[i] = true
 	}
 	for i := 0; i < len(bins); i++ {
+		if !valid[i] {
+			continue
+		}
 		for j := i + 1; j < len(bins); j++ {
-			if find(i) == find(j) {
+			if !valid[j] || find(i) == find(j) {
 				continue
 			}
 			if ssdeep.CompareDigests(digests[i], digests[j], backend) >= threshold {

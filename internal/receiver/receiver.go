@@ -1,184 +1,393 @@
 // Package receiver implements SIREN's message receiver: a UDP server (the
-// paper's receiver is also written in Go) that reads datagrams, pushes them
-// through a buffered channel, and batch-inserts them into the database.
+// paper's receiver is also written in Go) that reads datagrams and
+// batch-inserts them into the database without becoming the bottleneck.
 //
-// The pipeline is reader-goroutine → buffered channel → writer goroutine,
-// so a slow disk never backs up into the socket: when the channel is full,
+// The pipeline generalises the paper's reader-goroutine → buffered-channel →
+// writer-goroutine design into a sharded, multi-worker subsystem:
+//
+//	N reader goroutines ── hash(JobID, Host) ──▶ M shard channels ──▶ M writers
+//
+// Readers drain the socket (tuned SO_RCVBUF) into sync.Pool-backed datagram
+// buffers, so the hot path performs no per-packet heap allocation. Each
+// datagram is hash-partitioned by its (JobID, Host) header fields onto one of
+// M writer shards: messages of one job on one host always land on the same
+// shard — so sharding itself never introduces cross-shard interleaving for a
+// job — while independent jobs insert into the database concurrently. (UDP
+// delivery and concurrent readers may still reorder datagrams before the
+// dispatch point, exactly as the network may; chunk reassembly and
+// consolidation key on SEQ/TIME and never depended on arrival order.)
+//
+// A slow disk never backs up into the socket: when a shard channel is full,
 // datagrams are dropped exactly as the kernel would drop them — SIREN's
-// loss-tolerant design makes that safe.
+// loss-tolerant design makes that safe. Every loss and failure mode is
+// counted in Stats (kernel-style channel drops, malformed datagrams, failed
+// database inserts) instead of disappearing silently.
 package receiver
 
 import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"siren/internal/sirendb"
 	"siren/internal/wire"
+	"siren/internal/xxhash"
 )
 
 // Stats counts receiver activity.
 type Stats struct {
-	Received  atomic.Int64 // datagrams read
-	Inserted  atomic.Int64 // messages stored
-	Malformed atomic.Int64 // datagrams that failed to parse (dropped)
-	Dropped   atomic.Int64 // datagrams dropped due to a full channel
+	Received     atomic.Int64 // datagrams read from the transport
+	Inserted     atomic.Int64 // messages stored in the database
+	Malformed    atomic.Int64 // datagrams that failed to parse (dropped)
+	Dropped      atomic.Int64 // datagrams dropped due to a full shard channel
+	InsertErrors atomic.Int64 // failed InsertBatch calls
+	InsertLost   atomic.Int64 // messages lost inside failed InsertBatch calls
 }
 
-// Receiver drains a datagram source into a sirendb.DB.
+// String renders a one-line snapshot, the shape cmd/siren-receiver logs
+// periodically.
+func (s *Stats) String() string {
+	return fmt.Sprintf("received=%d inserted=%d malformed=%d dropped=%d insert_errors=%d insert_lost=%d",
+		s.Received.Load(), s.Inserted.Load(), s.Malformed.Load(),
+		s.Dropped.Load(), s.InsertErrors.Load(), s.InsertLost.Load())
+}
+
+// Store is the destination a receiver drains into. *sirendb.DB implements
+// it; tests substitute failure-injecting fakes.
+type Store interface {
+	InsertBatch(ms []wire.Message) error
+}
+
+// pkt is one in-flight datagram. When buf is non-nil the data slice aliases
+// a pooled buffer that must be returned to bufPool after parsing.
+type pkt struct {
+	data []byte
+	buf  *[]byte
+}
+
+// bufPool recycles datagram buffers between readers and writers, eliminating
+// the per-packet heap allocation (and its GC pressure) of the naive
+// append([]byte(nil), ...) copy. Buffers start at MaxDatagram-friendly size
+// and grow in place for jumbo datagrams.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 2048)
+	return &b
+}}
+
+// Receiver drains a datagram source into a Store.
 type Receiver struct {
-	db       *sirendb.DB
-	ch       chan []byte
+	db       Store
+	shards   []chan pkt
 	stats    *Stats
-	wg       sync.WaitGroup
-	closing  atomic.Bool
-	conn     net.PacketConn // nil when fed from a channel transport
 	batchMax int
+	readBuf  int
+	readers  int
+
+	readerWG  sync.WaitGroup
+	writerWG  sync.WaitGroup
+	writersOn sync.Once
+	closeOnce sync.Once
+	closeErr  error
+	closing   atomic.Bool
+	conn      net.PacketConn // nil when fed from a channel transport
 }
 
 // Options configure a receiver.
 type Options struct {
-	// Depth is the buffered-channel capacity (default 65536) — the paper's
-	// "buffered channel of the receiver server".
+	// Depth is the total buffered capacity across all shard channels
+	// (default 65536) — the paper's "buffered channel of the receiver
+	// server", split evenly among writers.
 	Depth int
 	// BatchMax bounds how many messages are folded into one DB insert
 	// (default 256).
 	BatchMax int
+	// Readers is the number of goroutines draining the UDP socket
+	// (default min(GOMAXPROCS, 4); channel mode always uses one forwarder).
+	Readers int
+	// Writers is the number of writer shards inserting into the database
+	// (default min(GOMAXPROCS, 4): sharding buys parallel parse+insert, so
+	// extra shards on a single-core host would only add scheduling
+	// overhead). Datagrams are partitioned by hash(JobID, Host), so
+	// sharding never splits one job's messages across writers: within one
+	// (JobID, Host), dispatch order is storage order. Global insertion
+	// order across jobs is scheduler-dependent once Writers > 1, and with
+	// multiple UDP Readers the socket→dispatch handoff itself can reorder,
+	// just like UDP transit — consolidation never depends on either.
+	Writers int
+	// ReadBuffer is the SO_RCVBUF size requested for the UDP socket in
+	// bytes (default 4 MiB; the kernel caps it at net.core.rmem_max). A
+	// large socket buffer absorbs sender bursts while writers flush.
+	ReadBuffer int
+}
+
+func (o *Options) defaults() {
+	if o.Depth <= 0 {
+		o.Depth = 65536
+	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = 256
+	}
+	if o.Readers <= 0 {
+		o.Readers = runtime.GOMAXPROCS(0)
+		if o.Readers > 4 {
+			o.Readers = 4
+		}
+	}
+	if o.Writers <= 0 {
+		o.Writers = runtime.GOMAXPROCS(0)
+		if o.Writers > 4 {
+			o.Writers = 4
+		}
+	}
+	if o.Depth < o.Writers {
+		o.Depth = o.Writers
+	}
 }
 
 // New creates a receiver writing to db.
-func New(db *sirendb.DB, opts Options) *Receiver {
-	if opts.Depth <= 0 {
-		opts.Depth = 65536
+func New(db Store, opts Options) *Receiver {
+	opts.defaults()
+	r := &Receiver{
+		db:       db,
+		stats:    &Stats{},
+		batchMax: opts.BatchMax,
+		readBuf:  opts.ReadBuffer,
+		readers:  opts.Readers,
+		shards:   make([]chan pkt, opts.Writers),
 	}
-	if opts.BatchMax <= 0 {
-		opts.BatchMax = 256
+	if r.readBuf <= 0 {
+		r.readBuf = 4 << 20
 	}
-	return &Receiver{db: db, ch: make(chan []byte, opts.Depth), stats: &Stats{}, batchMax: opts.BatchMax}
+	per := opts.Depth / opts.Writers
+	for i := range r.shards {
+		r.shards[i] = make(chan pkt, per)
+	}
+	return r
 }
 
 // Stats exposes the counters.
 func (r *Receiver) Stats() *Stats { return r.stats }
 
 // DB returns the underlying store.
-func (r *Receiver) DB() *sirendb.DB { return r.db }
+func (r *Receiver) DB() Store { return r.db }
+
+// startWriters launches the writer shards exactly once.
+func (r *Receiver) startWriters() {
+	r.writersOn.Do(func() {
+		for _, sh := range r.shards {
+			r.writerWG.Add(1)
+			go r.writeLoop(sh)
+		}
+	})
+}
 
 // ListenUDP binds a UDP socket on addr ("127.0.0.1:0" for an ephemeral
-// port), starts the reader and writer goroutines, and returns the bound
-// address.
+// port), requests the tuned SO_RCVBUF, starts the reader and writer
+// goroutines, and returns the bound address.
 func (r *Receiver) ListenUDP(addr string) (string, error) {
 	conn, err := net.ListenPacket("udp", addr)
 	if err != nil {
 		return "", fmt.Errorf("receiver: listen %s: %w", addr, err)
 	}
+	if uc, ok := conn.(*net.UDPConn); ok {
+		// Best-effort: the kernel silently caps at net.core.rmem_max.
+		_ = uc.SetReadBuffer(r.readBuf)
+	}
 	r.conn = conn
-	r.wg.Add(2)
-	go r.readLoop(conn)
-	go r.writeLoop()
+	for i := 0; i < r.readers; i++ {
+		r.readerWG.Add(1)
+		go r.readLoop(conn)
+	}
+	r.startWriters()
 	return conn.LocalAddr().String(), nil
 }
 
-// AttachChannel consumes datagrams from a wire.ChanTransport instead of a
-// socket — the deterministic in-process mode used by tests and simulations.
-// Unlike the UDP path, the forwarder applies backpressure instead of
-// dropping: the source channel already models the lossy socket buffer, so a
-// second drop point would double-count loss.
+// AttachChannel consumes datagrams from a channel source (wire.ChanTransport)
+// instead of a socket — the deterministic in-process mode used by tests and
+// simulations. Unlike the UDP path, the forwarder applies backpressure
+// instead of dropping: the source channel already models the lossy socket
+// buffer, so a second drop point would double-count loss.
 func (r *Receiver) AttachChannel(src <-chan []byte) {
-	r.wg.Add(2)
+	r.readerWG.Add(1)
 	go func() {
-		defer r.wg.Done()
+		defer r.readerWG.Done()
 		for d := range src {
 			r.stats.Received.Add(1)
-			r.ch <- d
+			r.dispatch(pkt{data: d}, true)
 		}
-		close(r.ch)
 	}()
-	go r.writeLoop()
+	r.startWriters()
 }
 
 func (r *Receiver) readLoop(conn net.PacketConn) {
-	defer r.wg.Done()
-	buf := make([]byte, 65536)
+	defer r.readerWG.Done()
+	scratch := make([]byte, 64<<10) // one max-size UDP datagram
 	for {
-		n, _, err := conn.ReadFrom(buf)
+		n, _, err := conn.ReadFrom(scratch)
 		if err != nil {
 			if r.closing.Load() || errors.Is(err, net.ErrClosed) {
-				close(r.ch)
 				return
 			}
 			// Transient socket error: keep serving (graceful failure).
 			continue
 		}
-		r.stats.Received.Add(1)
-		r.enqueue(append([]byte(nil), buf[:n]...))
+		r.ingest(scratch[:n], false)
 	}
 }
 
-func (r *Receiver) enqueue(datagram []byte) {
+// ingest copies one received datagram into a pooled buffer, counts it, and
+// dispatches it to its shard — the shared post-ReadFrom path of the reader
+// and shutdown-drain loops.
+func (r *Receiver) ingest(d []byte, block bool) {
+	r.stats.Received.Add(1)
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < len(d) {
+		*bp = make([]byte, len(d))
+	}
+	data := (*bp)[:len(d)]
+	copy(data, d)
+	r.dispatch(pkt{data: data, buf: bp}, block)
+}
+
+// shardIndex partitions a datagram by hash(JobID, Host). Datagrams whose
+// header cannot be scanned all land on shard 0, where Parse counts them as
+// malformed.
+func (r *Receiver) shardIndex(d []byte) int {
+	if len(r.shards) == 1 {
+		return 0
+	}
+	job, host, ok := wire.PartitionFields(d)
+	if !ok {
+		return 0
+	}
+	h := xxhash.Sum64Seed(host, xxhash.Sum64(job))
+	return int(h % uint64(len(r.shards)))
+}
+
+// dispatch routes a datagram to its shard. Blocking mode (channel transport)
+// applies backpressure; non-blocking mode (UDP) drops-and-counts like the
+// kernel would.
+func (r *Receiver) dispatch(p pkt, block bool) {
+	sh := r.shards[r.shardIndex(p.data)]
+	if block {
+		sh <- p
+		return
+	}
 	select {
-	case r.ch <- datagram:
+	case sh <- p:
 	default:
 		r.stats.Dropped.Add(1)
+		release(p)
 	}
 }
 
-func (r *Receiver) writeLoop() {
-	defer r.wg.Done()
+// release returns a pooled datagram buffer for reuse.
+func release(p pkt) {
+	if p.buf != nil {
+		bufPool.Put(p.buf)
+	}
+}
+
+func (r *Receiver) writeLoop(ch chan pkt) {
+	defer r.writerWG.Done()
 	batch := make([]wire.Message, 0, r.batchMax)
 	flush := func() {
 		if len(batch) == 0 {
 			return
 		}
-		if err := r.db.InsertBatch(batch); err == nil {
+		if err := r.db.InsertBatch(batch); err != nil {
+			// The batch is lost, but never silently: both the failed call
+			// and the message count surface in Stats.
+			r.stats.InsertErrors.Add(1)
+			r.stats.InsertLost.Add(int64(len(batch)))
+		} else {
 			r.stats.Inserted.Add(int64(len(batch)))
 		}
 		batch = batch[:0]
 	}
-	for d := range r.ch {
-		m, err := wire.Parse(d)
+	add := func(p pkt) {
+		m, err := wire.Parse(p.data)
+		release(p) // Parse copied what it needs; recycle immediately
 		if err != nil {
 			r.stats.Malformed.Add(1)
-			continue
+			return
 		}
 		batch = append(batch, m)
-		if len(batch) >= r.batchMax {
-			flush()
-			continue
-		}
+	}
+	for p := range ch {
+		add(p)
 		// Opportunistically drain whatever is already queued, then flush —
 		// batches form under load, latency stays low when idle.
+	drain:
 		for len(batch) < r.batchMax {
 			select {
-			case d, ok := <-r.ch:
+			case p, ok := <-ch:
 				if !ok {
 					flush()
 					return
 				}
-				m, err := wire.Parse(d)
-				if err != nil {
-					r.stats.Malformed.Add(1)
-					continue
-				}
-				batch = append(batch, m)
-				continue
+				add(p)
 			default:
+				break drain
 			}
-			break
 		}
 		flush()
 	}
 	flush()
 }
 
-// Close stops the receiver and waits for in-flight datagrams to be stored.
+// Close stops the receiver and waits for in-flight datagrams to be stored:
+// datagrams already accepted by the kernel socket buffer are drained before
+// the socket closes, so a tuned SO_RCVBUF never turns into silent loss at
+// shutdown. Close is idempotent; in channel mode the source must be closed
+// first.
 func (r *Receiver) Close() error {
-	r.closing.Store(true)
-	var err error
-	if r.conn != nil {
-		err = r.conn.Close()
-	}
-	r.wg.Wait()
-	return err
+	r.closeOnce.Do(func() {
+		r.closing.Store(true)
+		if r.conn != nil {
+			// Wake readers blocked in ReadFrom; they observe closing and
+			// exit, leaving the queued datagrams for the drain below.
+			_ = r.conn.SetReadDeadline(time.Now())
+			r.readerWG.Wait()
+			r.drainSocket()
+			r.closeErr = r.conn.Close()
+		} else {
+			r.readerWG.Wait()
+		}
+		r.startWriters() // a never-started receiver still closes cleanly
+		for _, sh := range r.shards {
+			close(sh)
+		}
+		r.writerWG.Wait()
+	})
+	return r.closeErr
 }
+
+// drainSocket empties the kernel socket buffer into the shards: it reads
+// until the socket stays idle for drainIdle (or drainCap total, should a
+// sender still be transmitting), dispatching with backpressure so nothing
+// read here is dropped.
+func (r *Receiver) drainSocket() {
+	const (
+		drainIdle = 50 * time.Millisecond
+		drainCap  = 2 * time.Second
+	)
+	deadline := time.Now().Add(drainCap)
+	scratch := make([]byte, 64<<10)
+	for time.Now().Before(deadline) {
+		if err := r.conn.SetReadDeadline(time.Now().Add(drainIdle)); err != nil {
+			return
+		}
+		n, _, err := r.conn.ReadFrom(scratch)
+		if err != nil {
+			return // idle (deadline exceeded) or socket gone: drained
+		}
+		r.ingest(scratch[:n], true)
+	}
+}
+
+var _ Store = (*sirendb.DB)(nil)

@@ -2,6 +2,7 @@ package receiver
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -156,6 +157,141 @@ func TestCloseIsIdempotentAndFlushes(t *testing.T) {
 	}
 	if db.Count() != 1 {
 		t.Error("partial batch not flushed on close")
+	}
+}
+
+// blockingStore blocks every InsertBatch until released, to back writers up
+// deterministically.
+type blockingStore struct {
+	gate     chan struct{}
+	inserted atomic.Int64
+}
+
+func (s *blockingStore) InsertBatch(ms []wire.Message) error {
+	<-s.gate
+	s.inserted.Add(int64(len(ms)))
+	return nil
+}
+
+// failingStore rejects every InsertBatch.
+type failingStore struct{}
+
+func (failingStore) InsertBatch(ms []wire.Message) error {
+	return fmt.Errorf("injected insert failure")
+}
+
+func TestChannelFullDropsAreCounted(t *testing.T) {
+	store := &blockingStore{gate: make(chan struct{})}
+	r := New(store, Options{Depth: 4, BatchMax: 1, Writers: 1})
+	r.startWriters()
+
+	// With the writer stalled inside its first InsertBatch (BatchMax 1), the
+	// single shard accepts at most the batched message plus Depth queued
+	// packets; everything beyond that must be counted as dropped, exactly
+	// like a kernel socket-buffer overflow.
+	const n = 32
+	d := wire.Encode(mkMsg(1, wire.TypeMetadata))
+	for i := 0; i < n; i++ {
+		r.ingest(d, false)
+	}
+	if got := r.Stats().Dropped.Load(); got < n-8 {
+		t.Fatalf("Dropped = %d, want >= %d with a stalled writer and depth 4", got, n-8)
+	}
+	close(store.gate) // release the writer
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	total := store.inserted.Load() + r.Stats().Dropped.Load() + r.Stats().Malformed.Load()
+	if total != r.Stats().Received.Load() {
+		t.Errorf("inserted %d + dropped %d + malformed %d != received %d",
+			store.inserted.Load(), r.Stats().Dropped.Load(),
+			r.Stats().Malformed.Load(), r.Stats().Received.Load())
+	}
+}
+
+func TestInsertBatchFailuresAreCounted(t *testing.T) {
+	r := New(failingStore{}, Options{BatchMax: 8, Writers: 2})
+	src := wire.NewChanTransport(256)
+	r.AttachChannel(src.C())
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := src.Send(wire.Encode(mkMsg(i, wire.TypeObjects))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Close()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Inserted.Load() != 0 {
+		t.Errorf("Inserted = %d with a failing store", st.Inserted.Load())
+	}
+	if st.InsertErrors.Load() == 0 {
+		t.Error("failing InsertBatch must increment Stats.InsertErrors")
+	}
+	if st.InsertLost.Load() != n {
+		t.Errorf("InsertLost = %d, want %d (every message of every failed batch)",
+			st.InsertLost.Load(), n)
+	}
+}
+
+func TestShardingPreservesPerJobOrder(t *testing.T) {
+	db, _ := sirendb.Open("")
+	r := New(db, Options{Writers: 4, BatchMax: 8})
+	src := wire.NewChanTransport(1 << 12)
+	r.AttachChannel(src.C())
+	const jobs, perJob = 8, 100
+	for seq := 0; seq < perJob; seq++ {
+		for j := 0; j < jobs; j++ {
+			m := mkMsg(seq, wire.TypeObjects)
+			m.JobID = fmt.Sprintf("job-%d", j)
+			m.Content = []byte(fmt.Sprintf("seq=%d", seq))
+			if err := src.Send(wire.Encode(m)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	src.Close()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Count(); got != jobs*perJob {
+		t.Fatalf("stored %d, want %d", got, jobs*perJob)
+	}
+	// Within one job (same host), insertion order must match send order even
+	// though four writer shards ran concurrently.
+	for j := 0; j < jobs; j++ {
+		ms := db.ByJob(fmt.Sprintf("job-%d", j))
+		if len(ms) != perJob {
+			t.Fatalf("job %d: %d messages, want %d", j, len(ms), perJob)
+		}
+		for seq, m := range ms {
+			if want := fmt.Sprintf("seq=%d", seq); string(m.Content) != want {
+				t.Fatalf("job %d position %d: content %q, want %q (reordered)",
+					j, seq, m.Content, want)
+			}
+		}
+	}
+}
+
+func TestMalformedAcrossShards(t *testing.T) {
+	// Garbage that defeats the shard-key scan must still be counted exactly
+	// once as malformed, wherever it lands.
+	db, _ := sirendb.Open("")
+	r := New(db, Options{Writers: 4})
+	src := wire.NewChanTransport(64)
+	r.AttachChannel(src.C())
+	src.Send([]byte("no magic at all"))
+	src.Send([]byte("SIREN1|JOBID=1|truncated"))
+	src.Send(wire.Encode(mkMsg(1, wire.TypeMetadata)))
+	src.Close()
+	r.Close()
+	if db.Count() != 1 {
+		t.Errorf("stored %d, want 1", db.Count())
+	}
+	if got := r.Stats().Malformed.Load(); got != 2 {
+		t.Errorf("Malformed = %d, want 2", got)
 	}
 }
 

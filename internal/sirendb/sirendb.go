@@ -105,23 +105,22 @@ func (db *DB) Insert(m wire.Message) error {
 }
 
 // InsertBatch stores several messages under one lock/flush cycle — the shape
-// the receiver's buffered channel naturally produces.
+// the receiver's writer shards naturally produce. WAL serialisation happens
+// before the lock is taken, so concurrent writer shards overlap the encoding
+// work and only the file append and index update serialise.
 func (db *DB) InsertBatch(ms []wire.Message) error {
 	if len(ms) == 0 {
 		return nil
 	}
+	var buf []byte
+	if db.path != "" { // immutable after Open; WAL presence re-checked below
+		for _, m := range ms {
+			buf = appendWALRecord(buf, m)
+		}
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.wal != nil {
-		var buf []byte
-		for _, m := range ms {
-			payload := wire.Encode(m)
-			var hdr [8]byte
-			binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-			binary.LittleEndian.PutUint32(hdr[4:8], uint32(xxhash.Sum64(payload)))
-			buf = append(buf, hdr[:]...)
-			buf = append(buf, payload...)
-		}
 		if _, err := db.wal.Write(buf); err != nil {
 			return fmt.Errorf("sirendb: WAL write: %w", err)
 		}
@@ -130,6 +129,16 @@ func (db *DB) InsertBatch(ms []wire.Message) error {
 		db.appendLocked(m)
 	}
 	return nil
+}
+
+// appendWALRecord frames one message as a length+checksum WAL record.
+func appendWALRecord(buf []byte, m wire.Message) []byte {
+	payload := wire.Encode(m)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(xxhash.Sum64(payload)))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
 }
 
 func (db *DB) appendLocked(m wire.Message) {
@@ -227,15 +236,7 @@ func (db *DB) Compact() error {
 		return fmt.Errorf("sirendb: compact: %w", err)
 	}
 	for _, m := range db.rows {
-		payload := wire.Encode(m)
-		var hdr [8]byte
-		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(hdr[4:8], uint32(xxhash.Sum64(payload)))
-		if _, err := tmp.Write(hdr[:]); err != nil {
-			tmp.Close()
-			return fmt.Errorf("sirendb: compact: %w", err)
-		}
-		if _, err := tmp.Write(payload); err != nil {
+		if _, err := tmp.Write(appendWALRecord(nil, m)); err != nil {
 			tmp.Close()
 			return fmt.Errorf("sirendb: compact: %w", err)
 		}

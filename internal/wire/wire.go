@@ -12,6 +12,7 @@
 package wire
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strconv"
@@ -116,59 +117,114 @@ func Encode(m Message) []byte {
 // SIREN wire format. The receiver drops such datagrams (graceful failure).
 var ErrMalformed = errors.New("wire: malformed datagram")
 
+// PartitionFields extracts the raw JOBID and HOST header values from an
+// encoded datagram in one bounded scan, without parsing or allocating: the
+// returned slices alias the datagram. The receiver's shard dispatcher uses
+// this to hash-partition datagrams by (JobID, Host) before the full Parse
+// happens on a writer shard.
+//
+// The scan walks the fixed field order exactly like Parse and stops at HOST,
+// so it never touches the content bytes — a "|HOST=" pattern inside CONTENT
+// can never match. It reports ok=false when the magic is wrong or the header
+// deviates from the wire layout (such datagrams fail Parse anyway).
+func PartitionFields(datagram []byte) (job, host []byte, ok bool) {
+	if len(datagram) < len(magic)+1 || string(datagram[:len(magic)+1]) != magic+"|" {
+		return nil, nil, false
+	}
+	rest := datagram[len(magic)+1:]
+	for i, prefix := range fieldPrefixes {
+		if len(rest) < len(prefix) || string(rest[:len(prefix)]) != prefix {
+			return nil, nil, false
+		}
+		rest = rest[len(prefix):]
+		sep := bytes.IndexByte(rest, '|')
+		if sep < 0 {
+			return nil, nil, false // header values are always '|'-terminated
+		}
+		switch i {
+		case 0:
+			job = rest[:sep]
+		case 4:
+			return job, rest[:sep], true // HOST: done, content never reached
+		}
+		rest = rest[sep+1:]
+	}
+	return nil, nil, false
+}
+
+// fieldPrefixes are the ten fixed header fields preceding CONTENT, in wire
+// order. Precomputed so the parse hot path never concatenates strings.
+var fieldPrefixes = [...]string{"JOBID=", "STEPID=", "PID=", "HASH=", "HOST=", "TIME=", "LAYER=", "TYPE=", "SEQ=", "TOT="}
+
 // Parse decodes a datagram produced by Encode.
+//
+// This is the receiver's per-message hot path, so copying is kept minimal:
+// the header region is converted to a string exactly once (every string
+// field of the Message shares that one small allocation) and the content
+// bytes are copied exactly once. A valid datagram's header cannot contain
+// '|' inside a value, so the first "|CONTENT=" occurrence is always the real
+// content marker — content itself may contain the pattern freely.
 func Parse(datagram []byte) (Message, error) {
-	s := string(datagram)
+	const contentMark = "|CONTENT="
+	ci := bytes.Index(datagram, []byte(contentMark))
+	if ci < 0 {
+		if len(datagram) < len(magic)+1 || string(datagram[:len(magic)+1]) != magic+"|" {
+			return Message{}, fmt.Errorf("%w: bad magic", ErrMalformed)
+		}
+		return Message{}, fmt.Errorf("%w: missing CONTENT", ErrMalformed)
+	}
+	s := string(datagram[:ci])
 	if !strings.HasPrefix(s, magic+"|") {
 		return Message{}, fmt.Errorf("%w: bad magic", ErrMalformed)
 	}
 	s = s[len(magic)+1:]
 	var m Message
-	// Ten fixed fields before CONTENT; CONTENT consumes the rest verbatim.
-	fields := []string{"JOBID", "STEPID", "PID", "HASH", "HOST", "TIME", "LAYER", "TYPE", "SEQ", "TOT"}
-	for _, name := range fields {
-		prefix := name + "="
+	for i, prefix := range fieldPrefixes {
+		name := prefix[:len(prefix)-1]
 		if !strings.HasPrefix(s, prefix) {
 			return Message{}, fmt.Errorf("%w: expected field %s", ErrMalformed, name)
 		}
 		s = s[len(prefix):]
-		sep := strings.IndexByte(s, '|')
-		if sep < 0 {
+		var val string
+		if sep := strings.IndexByte(s, '|'); sep >= 0 {
+			val, s = s[:sep], s[sep+1:]
+		} else if i == len(fieldPrefixes)-1 {
+			val, s = s, "" // TOT runs to the content marker
+		} else {
 			return Message{}, fmt.Errorf("%w: unterminated field %s", ErrMalformed, name)
 		}
-		val := s[:sep]
-		s = s[sep+1:]
 		var err error
-		switch name {
-		case "JOBID":
+		switch i {
+		case 0:
 			m.JobID = val
-		case "STEPID":
+		case 1:
 			m.StepID = val
-		case "PID":
+		case 2:
 			m.PID, err = strconv.Atoi(val)
-		case "HASH":
+		case 3:
 			m.Hash = val
-		case "HOST":
+		case 4:
 			m.Host = val
-		case "TIME":
+		case 5:
 			m.Time, err = strconv.ParseInt(val, 10, 64)
-		case "LAYER":
+		case 6:
 			m.Layer = val
-		case "TYPE":
+		case 7:
 			m.Type = val
-		case "SEQ":
+		case 8:
 			m.Seq, err = strconv.Atoi(val)
-		case "TOT":
+		case 9:
 			m.Total, err = strconv.Atoi(val)
 		}
 		if err != nil {
 			return Message{}, fmt.Errorf("%w: field %s: %v", ErrMalformed, name, err)
 		}
 	}
-	if !strings.HasPrefix(s, "CONTENT=") {
-		return Message{}, fmt.Errorf("%w: missing CONTENT", ErrMalformed)
+	if s != "" {
+		// Extra bytes between TOT and the content marker: not Encode output.
+		return Message{}, fmt.Errorf("%w: trailing header bytes", ErrMalformed)
 	}
-	m.Content = []byte(s[len("CONTENT="):])
+	m.Content = append([]byte{}, datagram[ci+len(contentMark):]...) // non-nil even when empty, like []byte("")
 	if m.Total < 1 || m.Seq < 0 || m.Seq >= m.Total {
 		return Message{}, fmt.Errorf("%w: chunk %d/%d out of range", ErrMalformed, m.Seq, m.Total)
 	}

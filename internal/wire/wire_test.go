@@ -57,6 +57,28 @@ func TestParseRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestPartitionFields(t *testing.T) {
+	m := Message{Header: sampleHeader(), Content: []byte("payload|HOST=fake|JOBID=fake")}
+	job, host, ok := PartitionFields(Encode(m))
+	if !ok {
+		t.Fatal("PartitionFields rejected a valid datagram")
+	}
+	if string(job) != m.JobID || string(host) != m.Host {
+		t.Errorf("got job=%q host=%q, want %q/%q", job, host, m.JobID, m.Host)
+	}
+	for _, bad := range [][]byte{
+		nil,
+		[]byte("not siren"),
+		[]byte("SIREN1|JOBID=1"),                // unterminated
+		[]byte("SIREN1|JOBID=1|HOST=n|rest"),    // fields out of wire order
+		[]byte("SIREN1|STEPID=0|JOBID=1|HOST="), // ditto
+	} {
+		if _, _, ok := PartitionFields(bad); ok {
+			t.Errorf("PartitionFields accepted %q", bad)
+		}
+	}
+}
+
 func TestChunkRespectsMaxSize(t *testing.T) {
 	h := sampleHeader()
 	content := bytes.Repeat([]byte("/opt/cray/pe/lib64/libsci_cray.so.6\n"), 200)
