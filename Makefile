@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet fmt fmt-check lint bench bench-smoke ci
+.PHONY: build test test-race vet fmt fmt-check lint bench bench-smoke bench-store test-replay ci
 
 build:
 	$(GO) build ./...
@@ -31,8 +31,22 @@ lint: vet fmt-check
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
 
-# One iteration per benchmark: proves every bench still compiles and runs.
+# One iteration per benchmark: proves every bench still compiles and runs
+# (includes the segmented-store benchmarks in internal/sirendb and the
+# sharded-vs-single-mutex store comparison in internal/receiver).
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Segmented-store throughput: the sharded-store insert path and the receiver
+# ingest comparison against the single-mutex store (EXPERIMENTS.md §3).
+bench-store:
+	$(GO) test -run=NONE -bench='BenchmarkInsertBatch|BenchmarkReceiverIngest' -benchmem ./internal/sirendb ./internal/receiver
+
+# WAL durability suite under the race detector: replay-corruption matrix,
+# crash-mid-group-commit and crash-mid-compact recovery, locking, migration,
+# and shard-count changes. The focused uncached runner for store work;
+# test-race already covers these tests, so ci does not run them twice.
+test-replay:
+	$(GO) test -race -count=1 -run 'Replay|Corrupt|Crash|Torn|GroupCommit|Closed|Locked|Legacy|ShardCount|Compact|Persist' ./internal/sirendb
 
 ci: build vet fmt-check test-race bench-smoke

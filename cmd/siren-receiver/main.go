@@ -8,6 +8,7 @@
 //
 //	siren-receiver [-addr 0.0.0.0:8787] [-db siren.wal]
 //	               [-readers N] [-writers M] [-depth D] [-batch B]
+//	               [-db-shards S] [-sync-interval 100ms]
 //	               [-rcvbuf BYTES] [-stats-interval 10s]
 package main
 
@@ -31,10 +32,20 @@ func main() {
 	depth := flag.Int("depth", 0, "total buffered-channel capacity across shards (0 = default)")
 	batch := flag.Int("batch", 0, "max messages per database insert batch (0 = default)")
 	rcvbuf := flag.Int("rcvbuf", 0, "requested SO_RCVBUF in bytes (0 = default 4 MiB)")
+	dbShards := flag.Int("db-shards", 0, "store shards, each with its own WAL segment (0 = match writers)")
+	syncEvery := flag.Duration("sync-interval", sirendb.DefaultSyncInterval,
+		"group-commit fsync latency bound (negative = fsync every batch)")
 	statsEvery := flag.Duration("stats-interval", 10*time.Second, "period of the stats log line (0 disables)")
 	flag.Parse()
 
-	db, err := sirendb.Open(*dbPath)
+	// Defaulting the store shards to the writer count keeps the writer→store
+	// mapping 1:1, so every batch lands in its store shard without
+	// re-partitioning (receiver.ShardedStore).
+	shards := *dbShards
+	if shards <= 0 {
+		shards = receiver.Options{Writers: *writers}.ResolvedWriters()
+	}
+	db, err := sirendb.OpenOptions(*dbPath, sirendb.Options{Shards: shards, SyncInterval: *syncEvery})
 	if err != nil {
 		fatal(err)
 	}
@@ -49,8 +60,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("siren-receiver: listening on %s, storing to %s (%d replayed rows)\n",
-		bound, *dbPath, db.Count())
+	fmt.Printf("siren-receiver: listening on %s, storing to %s (%d shards, %d replayed rows, %d corrupt skipped)\n",
+		bound, *dbPath, db.StoreShards(), db.Count(), db.CorruptRecords())
 
 	stop := make(chan struct{})
 	if *statsEvery > 0 {

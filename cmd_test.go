@@ -44,8 +44,9 @@ func TestCommandLineSurface(t *testing.T) {
 	if !strings.Contains(out, "Table 5: derived labels") {
 		t.Errorf("campaign output missing tables:\n%s", truncate(out))
 	}
-	if _, err := os.Stat(wal); err != nil {
-		t.Fatalf("WAL not written: %v", err)
+	// The store splits the WAL into per-shard segment files "<path>.<n>".
+	if _, err := os.Stat(wal + ".0"); err != nil {
+		t.Fatalf("WAL segment not written: %v", err)
 	}
 
 	// Analyze the stored WAL.

@@ -64,7 +64,11 @@ func NewPipeline(opts Options) (*Pipeline, error) {
 	if depth <= 0 {
 		depth = 1 << 18
 	}
-	db, err := sirendb.Open(opts.DBPath)
+	// Size the store's shards 1:1 with the receiver's writer shards so
+	// batches route writer→store shard directly (receiver.ShardedStore).
+	db, err := sirendb.OpenOptions(opts.DBPath, sirendb.Options{
+		Shards: receiver.Options{Writers: opts.Writers}.ResolvedWriters(),
+	})
 	if err != nil {
 		return nil, err
 	}

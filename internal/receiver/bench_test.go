@@ -35,8 +35,11 @@ func benchDatagrams(payload int) [][]byte {
 	return dgs
 }
 
-func benchIngest(b *testing.B, writers, payload int) {
-	db, _ := sirendb.Open("")
+func benchIngest(b *testing.B, writers, payload, dbShards int) {
+	db, err := sirendb.OpenOptions("", sirendb.Options{Shards: dbShards})
+	if err != nil {
+		b.Fatal(err)
+	}
 	r := New(db, Options{Writers: writers, Depth: 1 << 14, BatchMax: 256})
 	r.startWriters()
 	dgs := benchDatagrams(payload)
@@ -59,13 +62,27 @@ func benchIngest(b *testing.B, writers, payload int) {
 	}
 }
 
+// BenchmarkReceiverIngest drives the post-socket hot path with the store
+// sharded 1:1 with the writers, so each writer inserts directly into its own
+// store shard (the ShardedStore fast path).
 func BenchmarkReceiverIngest(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		for _, payload := range []int{64, 512, 1300} {
 			b.Run(fmt.Sprintf("shards=%d/payload=%d", shards, payload), func(b *testing.B) {
-				benchIngest(b, shards, payload)
+				benchIngest(b, shards, payload, shards)
 			})
 		}
+	}
+}
+
+// BenchmarkReceiverIngestSingleMutexStore pins the pre-sharding store shape:
+// four writer shards funnelling into one store shard, re-serialising every
+// insert on a single mutex — the contention the sharded store removes.
+func BenchmarkReceiverIngestSingleMutexStore(b *testing.B) {
+	for _, payload := range []int{64, 512, 1300} {
+		b.Run(fmt.Sprintf("writers=4/payload=%d", payload), func(b *testing.B) {
+			benchIngest(b, 4, payload, 1)
+		})
 	}
 }
 
@@ -137,7 +154,7 @@ func baselineParse(datagram []byte) (wire.Message, error) {
 func BenchmarkReceiverIngestBaseline(b *testing.B) {
 	for _, payload := range []int{64, 512, 1300} {
 		b.Run(fmt.Sprintf("payload=%d", payload), func(b *testing.B) {
-			db, _ := sirendb.Open("")
+			db, _ := sirendb.OpenOptions("", sirendb.Options{Shards: 1}) // the seed's single-mutex store
 			ch := make(chan []byte, 1<<14)
 			done := make(chan struct{})
 			go func() { // the seed writeLoop, batching up to 256

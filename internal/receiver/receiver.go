@@ -6,13 +6,19 @@
 // writer-goroutine design into a sharded, multi-worker subsystem:
 //
 //	N reader goroutines ── hash(JobID, Host) ──▶ M shard channels ──▶ M writers
+//	                                                                    │ 1:1
+//	                                                              M store shards
 //
 // Readers drain the socket (tuned SO_RCVBUF) into sync.Pool-backed datagram
 // buffers, so the hot path performs no per-packet heap allocation. Each
 // datagram is hash-partitioned by its (JobID, Host) header fields onto one of
 // M writer shards: messages of one job on one host always land on the same
 // shard — so sharding itself never introduces cross-shard interleaving for a
-// job — while independent jobs insert into the database concurrently. (UDP
+// job — while independent jobs insert into the database concurrently. When
+// the store is itself sharded by the same hash with a matching count
+// (ShardedStore), each writer inserts straight into its own store shard, so
+// the parallelism of the channel pipeline carries through the database
+// instead of re-serialising on a store-wide mutex. (UDP
 // delivery and concurrent readers may still reorder datagrams before the
 // dispatch point, exactly as the network may; chunk reassembly and
 // consolidation key on SEQ/TIME and never depended on arrival order.)
@@ -35,7 +41,6 @@ import (
 
 	"siren/internal/sirendb"
 	"siren/internal/wire"
-	"siren/internal/xxhash"
 )
 
 // Stats counts receiver activity.
@@ -45,7 +50,7 @@ type Stats struct {
 	Malformed    atomic.Int64 // datagrams that failed to parse (dropped)
 	Dropped      atomic.Int64 // datagrams dropped due to a full shard channel
 	InsertErrors atomic.Int64 // failed InsertBatch calls
-	InsertLost   atomic.Int64 // messages lost inside failed InsertBatch calls
+	InsertLost   atomic.Int64 // messages in failed InsertBatch calls (upper bound: a partially-applied batch counts whole)
 }
 
 // String renders a one-line snapshot, the shape cmd/siren-receiver logs
@@ -60,6 +65,18 @@ func (s *Stats) String() string {
 // it; tests substitute failure-injecting fakes.
 type Store interface {
 	InsertBatch(ms []wire.Message) error
+}
+
+// ShardedStore is the direct-routing fast path: a store partitioned by the
+// same wire.PartitionHash the receiver's dispatcher uses. When the store's
+// shard count equals the receiver's writer count, every message writer i
+// handles hashes to store shard i, so writers call InsertShard(i, batch)
+// and skip the store's per-message re-partitioning entirely — each writer
+// owns its store shard and inserts contend on nothing.
+type ShardedStore interface {
+	Store
+	StoreShards() int
+	InsertShard(shard int, ms []wire.Message) error
 }
 
 // pkt is one in-flight datagram. When buf is non-nil the data slice aliases
@@ -81,6 +98,7 @@ var bufPool = sync.Pool{New: func() any {
 // Receiver drains a datagram source into a Store.
 type Receiver struct {
 	db       Store
+	direct   ShardedStore // non-nil when writer shards map 1:1 onto store shards
 	shards   []chan pkt
 	stats    *Stats
 	batchMax int
@@ -166,7 +184,18 @@ func New(db Store, opts Options) *Receiver {
 	for i := range r.shards {
 		r.shards[i] = make(chan pkt, per)
 	}
+	if ss, ok := db.(ShardedStore); ok && ss.StoreShards() == len(r.shards) {
+		r.direct = ss
+	}
 	return r
+}
+
+// ResolvedWriters reports the writer-shard count New would use for these
+// Options — exported so callers can size a sharded store 1:1 with the
+// receiver (see sirendb.Options.Shards).
+func (o Options) ResolvedWriters() int {
+	o.defaults()
+	return o.Writers
 }
 
 // Stats exposes the counters.
@@ -178,9 +207,9 @@ func (r *Receiver) DB() Store { return r.db }
 // startWriters launches the writer shards exactly once.
 func (r *Receiver) startWriters() {
 	r.writersOn.Do(func() {
-		for _, sh := range r.shards {
+		for i, sh := range r.shards {
 			r.writerWG.Add(1)
-			go r.writeLoop(sh)
+			go r.writeLoop(i, sh)
 		}
 	})
 }
@@ -264,8 +293,7 @@ func (r *Receiver) shardIndex(d []byte) int {
 	if !ok {
 		return 0
 	}
-	h := xxhash.Sum64Seed(host, xxhash.Sum64(job))
-	return int(h % uint64(len(r.shards)))
+	return int(wire.PartitionHash(job, host) % uint64(len(r.shards)))
 }
 
 // dispatch routes a datagram to its shard. Blocking mode (channel transport)
@@ -292,14 +320,23 @@ func release(p pkt) {
 	}
 }
 
-func (r *Receiver) writeLoop(ch chan pkt) {
+func (r *Receiver) writeLoop(idx int, ch chan pkt) {
 	defer r.writerWG.Done()
 	batch := make([]wire.Message, 0, r.batchMax)
+	insert := func() error {
+		// Direct routing: writer idx's messages all hash to store shard idx
+		// (same partition hash, same shard count), so the batch lands in its
+		// store shard without re-partitioning or cross-shard locking.
+		if r.direct != nil {
+			return r.direct.InsertShard(idx, batch)
+		}
+		return r.db.InsertBatch(batch)
+	}
 	flush := func() {
 		if len(batch) == 0 {
 			return
 		}
-		if err := r.db.InsertBatch(batch); err != nil {
+		if err := insert(); err != nil {
 			// The batch is lost, but never silently: both the failed call
 			// and the message count surface in Stats.
 			r.stats.InsertErrors.Add(1)
@@ -390,4 +427,4 @@ func (r *Receiver) drainSocket() {
 	}
 }
 
-var _ Store = (*sirendb.DB)(nil)
+var _ ShardedStore = (*sirendb.DB)(nil)

@@ -2,6 +2,7 @@ package receiver
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -292,6 +293,96 @@ func TestMalformedAcrossShards(t *testing.T) {
 	}
 	if got := r.Stats().Malformed.Load(); got != 2 {
 		t.Errorf("Malformed = %d, want 2", got)
+	}
+}
+
+// sendJobSpread pushes n messages spread over several (JobID, Host) pairs
+// through a channel transport and closes everything down.
+func sendJobSpread(t *testing.T, r *Receiver, n int) {
+	t.Helper()
+	src := wire.NewChanTransport(1 << 12)
+	r.AttachChannel(src.C())
+	for i := 0; i < n; i++ {
+		m := mkMsg(i, wire.TypeObjects)
+		m.JobID = fmt.Sprintf("job-%d", i%9)
+		m.Host = fmt.Sprintf("nid%06d", i%4)
+		if err := src.Send(wire.Encode(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Close()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectShardRoutingEndToEnd(t *testing.T) {
+	// Writers == store shards: the receiver must detect the sharded store
+	// and route writer batches straight into their store shards, with every
+	// message still stored and queryable.
+	db, err := sirendb.OpenOptions("", sirendb.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(db, Options{Writers: 4, BatchMax: 16})
+	if r.direct == nil {
+		t.Fatal("matched shard counts must enable direct store routing")
+	}
+	const n = 900
+	sendJobSpread(t, r, n)
+	if got := db.Count(); got != n {
+		t.Errorf("stored %d, want %d", got, n)
+	}
+	for j := 0; j < 9; j++ {
+		if got := len(db.ByJob(fmt.Sprintf("job-%d", j))); got != n/9 {
+			t.Errorf("job-%d: %d rows, want %d", j, got, n/9)
+		}
+	}
+}
+
+func TestMismatchedShardCountsFallBack(t *testing.T) {
+	// Writers != store shards: no 1:1 mapping exists, so the receiver must
+	// fall back to InsertBatch (store-side hash partitioning) and still
+	// store everything.
+	db, err := sirendb.OpenOptions("", sirendb.Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(db, Options{Writers: 4, BatchMax: 16})
+	if r.direct != nil {
+		t.Fatal("mismatched shard counts must not claim direct routing")
+	}
+	const n = 600
+	sendJobSpread(t, r, n)
+	if got := db.Count(); got != n {
+		t.Errorf("stored %d, want %d", got, n)
+	}
+}
+
+func TestDirectRoutingPersistentReplay(t *testing.T) {
+	// The full paper pipeline shape: UDP-less channel ingest into a
+	// WAL-backed sharded store, then a restart replays every stored row.
+	path := filepath.Join(t.TempDir(), "siren.wal")
+	db, err := sirendb.OpenOptions(path, sirendb.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(db, Options{Writers: 2, BatchMax: 32})
+	const n = 300
+	sendJobSpread(t, r, n)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := sirendb.OpenOptions(path, sirendb.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := db2.Count(); got != n {
+		t.Errorf("replayed %d rows, want %d", got, n)
+	}
+	if db2.CorruptRecords() != 0 {
+		t.Errorf("corrupt = %d", db2.CorruptRecords())
 	}
 }
 

@@ -1,0 +1,111 @@
+// Store-level insert benchmarks:
+//
+//	go test -bench=BenchmarkInsertBatch -benchmem ./internal/sirendb
+//
+// BenchmarkInsertBatch measures the receiver-shaped workload — concurrent
+// writers each flushing batches into their own store shard — against the
+// single-mutex shape (shards=1), in memory and with the segmented WAL under
+// group commit. One op is one 256-message batch.
+package sirendb
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"siren/internal/wire"
+)
+
+func benchBatch(job, host string, n int) []wire.Message {
+	ms := make([]wire.Message, n)
+	for i := range ms {
+		ms[i] = wire.Message{
+			Header: wire.Header{
+				JobID: job, StepID: "0", PID: i, Hash: "abcd", Host: host,
+				Time: 1733900000, Layer: wire.LayerSelf, Type: wire.TypeObjects,
+				Seq: 0, Total: 1,
+			},
+			Content: []byte("/lib64/libc.so.6\n/lib64/libm.so.6\n/opt/cray/libmpi.so\n"),
+		}
+	}
+	return ms
+}
+
+func benchInsertBatch(b *testing.B, path string, shards, writers int) {
+	db, err := OpenOptions(path, Options{Shards: shards, SyncInterval: DefaultSyncInterval})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	const batchLen = 256
+	// Each writer owns one store shard, like matched receiver writers; with
+	// a single-shard store every writer hits the same mutex.
+	batches := make([][]wire.Message, writers)
+	for w := range batches {
+		batches[w] = benchBatch(fmt.Sprintf("job-%d", w), fmt.Sprintf("nid%06d", w), batchLen)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / writers
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			shard := w % shards
+			for i := 0; i < n; i++ {
+				if err := db.InsertShard(shard, batches[w]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w, per+boolToInt(w < b.N%writers))
+	}
+	wg.Wait()
+	b.StopTimer()
+	if db.Count() != b.N*batchLen {
+		b.Fatalf("stored %d of %d", db.Count(), b.N*batchLen)
+	}
+}
+
+func boolToInt(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func BenchmarkInsertBatch(b *testing.B) {
+	for _, backend := range []string{"mem", "wal"} {
+		for _, shards := range []int{1, 4} {
+			b.Run(fmt.Sprintf("store=%s/shards=%d/writers=4", backend, shards), func(b *testing.B) {
+				path := ""
+				if backend == "wal" {
+					path = filepath.Join(b.TempDir(), "bench.wal")
+				}
+				benchInsertBatch(b, path, shards, 4)
+			})
+		}
+	}
+}
+
+// BenchmarkInsertBatchSyncEveryBatch prices full per-batch durability, the
+// policy group commit amortises away.
+func BenchmarkInsertBatchSyncEveryBatch(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.wal")
+	db, err := OpenOptions(path, Options{Shards: 1, SyncInterval: -time.Nanosecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	batch := benchBatch("job-0", "nid000001", 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.InsertShard(0, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package sirendb
+
+import "os"
+
+// fdatasync falls back to a full fsync where the cheaper data-only variant
+// is unavailable.
+func fdatasync(f *os.File) error {
+	return f.Sync()
+}

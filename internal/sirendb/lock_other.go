@@ -1,0 +1,19 @@
+//go:build !unix
+
+package sirendb
+
+import (
+	"fmt"
+	"os"
+)
+
+// acquireLock on platforms without flock only creates the lock file; mutual
+// exclusion between processes is not enforced. SIREN's receiver targets
+// Linux (HPC nodes), where lock_unix.go applies.
+func acquireLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sirendb: opening lock file: %w", err)
+	}
+	return f, nil
+}

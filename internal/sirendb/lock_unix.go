@@ -1,0 +1,29 @@
+//go:build unix
+
+package sirendb
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// acquireLock takes an exclusive advisory flock on the store's lock file,
+// failing fast with ErrLocked when another process holds it. The lock lives
+// on the open file descriptor, so it is released on Close — or automatically
+// by the kernel if the process dies, which is why a lock *file* beats a pid
+// file here: a crash never leaves the store permanently locked.
+func acquireLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sirendb: opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+			return nil, fmt.Errorf("%w (lock file %s)", ErrLocked, path)
+		}
+		return nil, fmt.Errorf("sirendb: locking %s: %w", path, err)
+	}
+	return f, nil
+}

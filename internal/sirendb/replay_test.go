@@ -1,0 +1,899 @@
+// Replay, durability, and recovery tests for the segmented WAL: a corruption
+// matrix (torn header, torn payload, in-bounds corrupt length, mid-file
+// bitflip) over single- and multi-segment stores, a crash-mid-group-commit
+// simulation proving no acknowledged row is lost, process-exclusion locking,
+// ErrClosed semantics, and legacy single-file migration.
+package sirendb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"siren/internal/wire"
+	"siren/internal/xxhash"
+)
+
+// spreadMsg varies (JobID, Host) so rows land on every shard.
+func spreadMsg(i int, content string) wire.Message {
+	return wire.Message{
+		Header: wire.Header{
+			JobID: fmt.Sprintf("job-%d", i%7), StepID: "0", PID: i,
+			Hash: "abcd", Host: fmt.Sprintf("nid%06d", i%5),
+			Time: 1733900000 + int64(i), Layer: wire.LayerSelf,
+			Type: wire.TypeMetadata, Seq: 0, Total: 1,
+		},
+		Content: []byte(content),
+	}
+}
+
+type recOffset struct {
+	hdrOff     int // start of the 16-byte record header
+	payloadOff int
+	payloadLen int
+	seq        uint64
+}
+
+// recordOffsets walks a segment file's framing (skipping the magic) so tests
+// can corrupt records surgically.
+func recordOffsets(t *testing.T, data []byte) []recOffset {
+	t.Helper()
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		t.Fatalf("segment missing magic")
+	}
+	var recs []recOffset
+	off := len(segMagic)
+	for off+recHdrSize <= len(data) {
+		length := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		seq := binary.LittleEndian.Uint64(data[off+8 : off+16])
+		if off+recHdrSize+length > len(data) {
+			break
+		}
+		recs = append(recs, recOffset{
+			hdrOff: off, payloadOff: off + recHdrSize, payloadLen: length, seq: seq,
+		})
+		off += recHdrSize + length
+	}
+	return recs
+}
+
+// largestSegment returns the path and contents of the store segment holding
+// the most records.
+func largestSegment(t *testing.T, base string, shards int) (string, []byte) {
+	t.Helper()
+	var bestPath string
+	var bestData []byte
+	best := -1
+	for i := 0; i < shards; i++ {
+		p := segmentPath(base, i)
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := len(recordOffsets(t, data)); n > best {
+			best, bestPath, bestData = n, p, data
+		}
+	}
+	return bestPath, bestData
+}
+
+func TestReplayCorruptionMatrix(t *testing.T) {
+	const rows = 120
+	for _, shards := range []int{1, 4} {
+		for _, mode := range []string{"torn-header", "torn-payload", "corrupt-length", "bitflip"} {
+			t.Run(fmt.Sprintf("shards=%d/%s", shards, mode), func(t *testing.T) {
+				path := filepath.Join(t.TempDir(), "siren.wal")
+				db, err := OpenOptions(path, Options{Shards: shards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < rows; i++ {
+					if err := db.Insert(spreadMsg(i, "content-payload")); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := db.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				seg, data := largestSegment(t, path, shards)
+				recs := recordOffsets(t, data)
+				if len(recs) < 4 {
+					t.Fatalf("segment %s has only %d records", seg, len(recs))
+				}
+				segRows := len(recs)
+				otherRows := rows - segRows
+				mid := len(recs) / 2
+				var wantRows, wantCorruptMin int
+				switch mode {
+				case "torn-header":
+					// Crash mid-append: only half the last record's header
+					// made it out. The record is lost, everything else is not.
+					data = data[:recs[segRows-1].hdrOff+7]
+					wantRows = rows - 1
+				case "torn-payload":
+					data = data[:recs[segRows-1].payloadOff+recs[segRows-1].payloadLen/2]
+					wantRows = rows - 1
+				case "corrupt-length":
+					// An in-bounds garbage length misframes the stream from
+					// the middle record on: rows before it and in other
+					// segments survive, the rest surface as corrupt/lost.
+					binary.LittleEndian.PutUint32(data[recs[mid].hdrOff:], uint32(recs[mid].payloadLen+5))
+					wantRows = otherRows + mid
+					wantCorruptMin = 1
+				case "bitflip":
+					// One flipped payload byte kills exactly that record;
+					// framing stays intact so every other record replays.
+					data[recs[mid].payloadOff+1] ^= 0x80
+					wantRows = rows - 1
+					wantCorruptMin = 1
+				}
+				if err := os.WriteFile(seg, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+
+				db2, err := OpenOptions(path, Options{Shards: shards})
+				if err != nil {
+					t.Fatalf("reopen after %s: %v", mode, err)
+				}
+				defer db2.Close()
+				got := db2.Count()
+				switch mode {
+				case "corrupt-length":
+					// Misframing can destroy later records in this segment
+					// but never rows before the corruption or other segments.
+					if got < wantRows || got >= rows {
+						t.Errorf("rows = %d, want [%d, %d)", got, wantRows, rows)
+					}
+				default:
+					if got != wantRows {
+						t.Errorf("rows = %d, want %d", got, wantRows)
+					}
+				}
+				if db2.CorruptRecords() < wantCorruptMin {
+					t.Errorf("corrupt = %d, want >= %d", db2.CorruptRecords(), wantCorruptMin)
+				}
+				// Accounting stays sane: nothing is double-counted.
+				if got+db2.CorruptRecords() > rows {
+					t.Errorf("rows %d + corrupt %d exceed written %d", got, db2.CorruptRecords(), rows)
+				}
+			})
+		}
+	}
+}
+
+// TestCrashMidGroupCommit proves the group-commit contract: every row
+// acknowledged by the Sync barrier survives a crash, simulated by keeping
+// only each segment's fdatasync-confirmed prefix (the pessimistic model —
+// nothing past the last fdatasync reached the platter) plus torn residue.
+func TestCrashMidGroupCommit(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "siren.wal")
+			// A huge interval keeps the background syncer idle so the test
+			// controls exactly what is durable.
+			db, err := OpenOptions(path, Options{Shards: shards, SyncInterval: time.Hour})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const acked = 180
+			for i := 0; i < acked; i++ {
+				if err := db.Insert(spreadMsg(i, "acknowledged")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.Sync(); err != nil { // durability barrier: rows 0..179 acknowledged
+				t.Fatal(err)
+			}
+			for i := acked; i < acked+90; i++ {
+				if err := db.Insert(spreadMsg(i, "in-flight")); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Crash: copy each segment truncated at its synced offset, plus
+			// a few torn bytes of the unsynced tail on shard 0.
+			crash := filepath.Join(dir, "after-crash")
+			if err := os.Mkdir(crash, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			crashPath := filepath.Join(crash, "siren.wal")
+			for i, s := range db.shards {
+				data, err := os.ReadFile(segmentPath(path, i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				durable := s.synced.Load()
+				if int64(len(data)) < durable {
+					t.Fatalf("shard %d: synced %d beyond file size %d", i, durable, len(data))
+				}
+				keep := data[:durable]
+				if i == 0 && int64(len(data)) > durable+5 {
+					keep = data[:durable+5] // torn unsynced tail
+				}
+				if err := os.WriteFile(segmentPath(crashPath, i), keep, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			db.Close()
+
+			db2, err := OpenOptions(crashPath, Options{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db2.Close()
+			if got := db2.Count(); got != acked {
+				t.Errorf("replayed %d rows, want exactly the %d acknowledged", got, acked)
+			}
+			if db2.CorruptRecords() != 0 {
+				t.Errorf("corrupt = %d after clean group-commit crash", db2.CorruptRecords())
+			}
+			for _, m := range db2.All() {
+				if string(m.Content) != "acknowledged" {
+					t.Fatalf("unacknowledged row %q replayed as durable", m.Content)
+				}
+			}
+		})
+	}
+}
+
+// TestAppendAfterTornTail pins the recovery rule that appends resume at the
+// end of the valid prefix: the seed implementation appended *after* torn
+// residue, making every post-crash insert unreachable to the next replay.
+func TestAppendAfterTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "siren.wal")
+	db, err := OpenOptions(path, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		db.Insert(msg("7", i, wire.TypeMetadata, "before"))
+	}
+	db.Close()
+	seg := segmentPath(path, 0)
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := OpenOptions(path, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Count() != 9 {
+		t.Fatalf("after tear: %d rows, want 9", db2.Count())
+	}
+	for i := 0; i < 5; i++ {
+		if err := db2.Insert(msg("8", i, wire.TypeMetadata, "after")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db2.Close()
+
+	db3, err := OpenOptions(path, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if db3.Count() != 14 {
+		t.Errorf("after reopen: %d rows, want 14 (post-crash appends must be replayable)", db3.Count())
+	}
+	if db3.CorruptRecords() != 0 {
+		t.Errorf("corrupt = %d", db3.CorruptRecords())
+	}
+}
+
+func TestGroupCommitLatencyBound(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "siren.wal")
+	db, err := OpenOptions(path, Options{Shards: 2, SyncInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 50; i++ {
+		if err := db.Insert(spreadMsg(i, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Without any explicit Sync, the background syncers must make every
+	// appended byte durable within the latency bound (plus slack for a
+	// loaded CI box).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		allSynced := true
+		for _, s := range db.shards {
+			s.mu.RLock()
+			w := s.written
+			s.mu.RUnlock()
+			if s.synced.Load() < w {
+				allSynced = false
+			}
+		}
+		if allSynced {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("group-commit syncer did not fdatasync within the latency bound")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestInsertAfterCloseReturnsErrClosed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "siren.wal")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert(msg("1", 1, wire.TypeMetadata, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert(msg("1", 2, wire.TypeMetadata, "dropped")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Insert after Close = %v, want ErrClosed", err)
+	}
+	if err := db.InsertBatch([]wire.Message{msg("1", 3, wire.TypeMetadata, "dropped")}); !errors.Is(err, ErrClosed) {
+		t.Errorf("InsertBatch after Close = %v, want ErrClosed", err)
+	}
+	if err := db.Sync(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Sync after Close = %v, want ErrClosed", err)
+	}
+	if err := db.Compact(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Compact after Close = %v, want ErrClosed", err)
+	}
+	// The in-memory view stays readable, and no silent row slipped in.
+	if db.Count() != 1 {
+		t.Errorf("Count = %d after rejected inserts, want 1", db.Count())
+	}
+	// A second Close stays a no-op.
+	if err := db.Close(); err != nil {
+		t.Errorf("second Close = %v", err)
+	}
+	// Purely in-memory stores have no WAL to protect; Close keeps them usable.
+	mem, _ := Open("")
+	mem.Close()
+	if err := mem.Insert(msg("1", 1, wire.TypeMetadata, "ok")); err != nil {
+		t.Errorf("in-memory Insert after Close = %v", err)
+	}
+}
+
+// TestSyncFailurePoisonsInserts: once a group commit fails, durability is
+// already lost for an acknowledged window — further inserts must fail
+// loudly (the receiver counts them in its stats) instead of acknowledging
+// rows that may never become durable.
+func TestSyncFailurePoisonsInserts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "siren.wal")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Insert(spreadMsg(1, "ok")); err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("injected fdatasync failure")
+	db.recordSyncErr(injected)
+	if err := db.Insert(spreadMsg(2, "x")); !errors.Is(err, injected) {
+		t.Errorf("Insert after sync failure = %v, want the sticky sync error", err)
+	}
+	if err := db.Sync(); !errors.Is(err, injected) {
+		t.Errorf("Sync after sync failure = %v, want the sticky sync error", err)
+	}
+}
+
+func TestOpenConflictReturnsErrLocked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "siren.wal")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); !errors.Is(err, ErrLocked) {
+		t.Errorf("second Open = %v, want ErrLocked", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The lock dies with the holder: reopening after Close succeeds.
+	db2, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	db2.Close()
+}
+
+// writeLegacyWAL writes a pre-segment single-file WAL ([len][sum][payload]
+// framing) the way the seed implementation did.
+func writeLegacyWAL(t *testing.T, path string, ms []wire.Message) {
+	t.Helper()
+	var buf []byte
+	for _, m := range ms {
+		payload := wire.Encode(m)
+		var hdr [legacyHdrLen]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(xxhash.Sum64(payload)))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, payload...)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLegacyWALMigration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "siren.wal")
+	var ms []wire.Message
+	for i := 0; i < 40; i++ {
+		ms = append(ms, spreadMsg(i, "legacy-row"))
+	}
+	writeLegacyWAL(t, path, ms)
+
+	db, err := OpenOptions(path, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Count() != len(ms) {
+		t.Errorf("migrated %d rows, want %d", db.Count(), len(ms))
+	}
+	// Migration is complete: the legacy file is gone, segments exist.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("legacy WAL still present after migration (err=%v)", err)
+	}
+	// The store stays writable and replayable after migration.
+	if err := db.Insert(spreadMsg(99, "post-migration")); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	db2, err := OpenOptions(path, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Count() != len(ms)+1 {
+		t.Errorf("after reopen: %d rows, want %d", db2.Count(), len(ms)+1)
+	}
+}
+
+// TestLegacyMigrationCrashRedo: if the legacy file still exists, any
+// segments are a migration that crashed before the final remove — they must
+// be discarded and the migration redone from the (complete) legacy file,
+// never merged into duplicates.
+func TestLegacyMigrationCrashRedo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "siren.wal")
+	var ms []wire.Message
+	for i := 0; i < 30; i++ {
+		ms = append(ms, spreadMsg(i, "legacy-row"))
+	}
+	writeLegacyWAL(t, path, ms)
+	// Simulate the crash: a completed segment write for shard 0 (holding a
+	// subset of the rows) alongside the intact legacy file.
+	db, err := OpenOptions(path, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	seg0, err := os.ReadFile(segmentPath(path, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeLegacyWAL(t, path, ms) // legacy resurrected, segments now partial
+	if err := os.Remove(segmentPath(path, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segmentPath(path, 0), seg0, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := OpenOptions(path, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Count() != len(ms) {
+		t.Errorf("after crash-redo: %d rows, want %d (no duplicates, no loss)", db2.Count(), len(ms))
+	}
+}
+
+func TestShardCountChangeAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "siren.wal")
+	db, err := OpenOptions(path, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 60
+	for i := 0; i < rows; i++ {
+		db.Insert(spreadMsg(i, "v"))
+	}
+	db.Close()
+
+	// Shrink: segments 2 and 3 become read-only leftovers, their rows fold
+	// into shards 0 and 1.
+	db2, err := OpenOptions(path, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Count() != rows {
+		t.Fatalf("after shrink: %d rows, want %d", db2.Count(), rows)
+	}
+	for i := rows; i < rows+10; i++ {
+		db2.Insert(spreadMsg(i, "v"))
+	}
+	// Compact folds the leftover segments in and removes them.
+	if err := db2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{2, 3} {
+		if _, err := os.Stat(segmentPath(path, i)); !os.IsNotExist(err) {
+			t.Errorf("leftover segment %d survived Compact (err=%v)", i, err)
+		}
+	}
+	db2.Close()
+
+	// Grow back: replay re-partitions across 8 shards.
+	db3, err := OpenOptions(path, Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if db3.Count() != rows+10 {
+		t.Errorf("after grow: %d rows, want %d", db3.Count(), rows+10)
+	}
+}
+
+// TestCompactCrashLeavesNoDuplicates: a crash between Compact's segment
+// renames and the leftover-segment removal briefly leaves the same records
+// in two files; sequence-number dedup on replay must collapse them.
+func TestCompactCrashLeavesNoDuplicates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "siren.wal")
+	db, err := OpenOptions(path, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 50
+	for i := 0; i < rows; i++ {
+		db.Insert(spreadMsg(i, "v"))
+	}
+	db.Close()
+
+	// Reopen with fewer shards and compact, but "crash" before the leftover
+	// removal by restoring the stale segments afterwards.
+	stale2, err := os.ReadFile(segmentPath(path, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale3, err := os.ReadFile(segmentPath(path, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenOptions(path, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	db2.Close()
+	if err := os.WriteFile(segmentPath(path, 2), stale2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segmentPath(path, 3), stale3, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db3, err := OpenOptions(path, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if db3.Count() != rows {
+		t.Errorf("after compact-crash: %d rows, want %d (seq dedup must collapse duplicates)", db3.Count(), rows)
+	}
+}
+
+// copyStoreFiles copies every regular file of a store's directory into a
+// fresh directory, modelling the on-disk state a crashed process leaves.
+func copyStoreFiles(t *testing.T, fromDir, toDir string) {
+	t.Helper()
+	entries, err := os.ReadDir(fromDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(fromDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(toDir, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCompactCrashMidRenameRecoversAllRows pins the hardest compaction
+// crash window: after a shard-count change, a row's on-disk segment differs
+// from its in-memory shard, so a crash between Compact's renames must not
+// orphan the rows whose new segment was not yet in place. The committed
+// marker makes the next open roll the transaction forward from the fsynced
+// temps.
+func TestCompactCrashMidRenameRecoversAllRows(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "siren.wal")
+	db, err := OpenOptions(path, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 80
+	for i := 0; i < rows; i++ {
+		if err := db.Insert(spreadMsg(i, "v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with 8 shards: replay re-homes the two segments' rows across
+	// eight in-memory shards, then Compact "crashes" right after renaming
+	// new segment 0 — old segment 0's rows for shards 2,4,6 now exist only
+	// in the not-yet-renamed temps.
+	db2, err := OpenOptions(path, Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2.testCrashBeforeRename = func(i int) bool { return i == 1 }
+	if err := db2.Compact(); err == nil {
+		t.Fatal("injected crash did not surface")
+	}
+	crash := filepath.Join(dir, "after-crash")
+	if err := os.Mkdir(crash, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	copyStoreFiles(t, dir, crash)
+
+	db3, err := OpenOptions(filepath.Join(crash, "siren.wal"), Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if got := db3.Count(); got != rows {
+		t.Errorf("after compact-crash recovery: %d rows, want %d", got, rows)
+	}
+	if db3.CorruptRecords() != 0 {
+		t.Errorf("corrupt = %d", db3.CorruptRecords())
+	}
+	// The transaction is retired: no marker, no temps.
+	if _, err := os.Stat(compactMarkerPath(filepath.Join(crash, "siren.wal"))); !os.IsNotExist(err) {
+		t.Errorf("commit marker survived recovery (err=%v)", err)
+	}
+}
+
+// TestCompactCrashBeforeCommitDiscardsTemps: without a durable marker the
+// temp set is a discarded phase 1 — the old segments stay authoritative.
+func TestCompactCrashBeforeCommitDiscardsTemps(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "siren.wal")
+	db, err := OpenOptions(path, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 40
+	for i := 0; i < rows; i++ {
+		db.Insert(spreadMsg(i, "v"))
+	}
+	db.Close()
+	// Fake an uncommitted phase 1: stray temp files, no marker.
+	for i := 0; i < 2; i++ {
+		if err := os.WriteFile(segmentPath(path, i)+".compact", []byte(segMagic+"garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db2, err := OpenOptions(path, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := db2.Count(); got != rows {
+		t.Errorf("rows = %d, want %d", got, rows)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := os.Stat(segmentPath(path, i) + ".compact"); !os.IsNotExist(err) {
+			t.Errorf("orphan temp %d not swept (err=%v)", i, err)
+		}
+	}
+}
+
+// TestCompactRenameFailureRollsForward: once the commit marker is durable,
+// a mid-loop rename failure must leave the marker and remaining temps for
+// the next open to complete (rolling back would orphan rows cross-homed
+// into not-yet-renamed temps) and must poison inserts, since an append
+// acknowledged into an old segment would be destroyed by the roll-forward.
+func TestCompactRenameFailureRollsForward(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "siren.wal")
+	db, err := OpenOptions(path, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 60
+	for i := 0; i < rows; i++ {
+		db.Insert(spreadMsg(i, "v"))
+	}
+	db.Close()
+
+	// Reopen with 2 shards (cross-homed rows exist), then make segment 1's
+	// rename fail by obstructing its path with a directory.
+	db2, err := OpenOptions(path, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(segmentPath(path, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(segmentPath(path, 1), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Compact(); err == nil {
+		t.Fatal("Compact with an obstructed rename must error")
+	}
+	if err := db2.Insert(spreadMsg(999, "late")); err == nil {
+		t.Error("inserts after an interrupted compaction must be poisoned")
+	}
+	if _, err := os.Stat(compactMarkerPath(path)); err != nil {
+		t.Fatalf("commit marker must survive for roll-forward: %v", err)
+	}
+	if _, err := os.Stat(segmentPath(path, 1) + ".compact"); err != nil {
+		t.Fatalf("unrenamed temp must survive for roll-forward: %v", err)
+	}
+
+	// "Crash", clear the obstruction, and reopen: completeCompact finishes
+	// the transaction from the fsynced temps — no row lost.
+	if err := os.Remove(segmentPath(path, 1)); err != nil {
+		t.Fatal(err)
+	}
+	crash := filepath.Join(dir, "after-crash")
+	if err := os.Mkdir(crash, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	copyStoreFiles(t, dir, crash)
+	db3, err := OpenOptions(filepath.Join(crash, "siren.wal"), Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if got := db3.Count(); got != rows {
+		t.Errorf("after roll-forward: %d rows, want %d", got, rows)
+	}
+}
+
+func TestOversizedMessageRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "siren.wal")
+	db, err := OpenOptions(path, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	big := spreadMsg(1, "")
+	big.Content = make([]byte, maxRecordLen+1)
+	if err := db.Insert(big); err == nil {
+		t.Fatal("a record replay would treat as a torn tail must be rejected at write time")
+	}
+	// The store stays fully usable and the segment unpolluted.
+	if err := db.Insert(spreadMsg(2, "ok")); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count() != 1 {
+		t.Errorf("Count = %d, want 1", db.Count())
+	}
+}
+
+// TestTornCompactMarkerNotTrusted: a torn marker is a strict prefix of
+// "shards=N\n", and a decimal prefix of a multi-digit count still parses
+// under a lenient scan. Trusting it would delete live segments; the store
+// must treat it as uncommitted and keep the old segments authoritative.
+func TestTornCompactMarkerNotTrusted(t *testing.T) {
+	if parseCompactMarker([]byte("shards=16\n")) != 16 {
+		t.Error("complete marker rejected")
+	}
+	for _, torn := range []string{"", "sh", "shards=", "shards=1", "shards=16", "shards=-4\n", "shards=0\n", "garbage\n"} {
+		if got := parseCompactMarker([]byte(torn)); got != 0 {
+			t.Errorf("parseCompactMarker(%q) = %d, want 0 (uncommitted)", torn, got)
+		}
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "siren.wal")
+	db, err := OpenOptions(path, Options{Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 64
+	for i := 0; i < rows; i++ {
+		db.Insert(spreadMsg(i, "v"))
+	}
+	db.Close()
+	// Crash mid-marker-write: the prefix "shards=1" parses leniently but is
+	// torn from "shards=16\n".
+	if err := os.WriteFile(compactMarkerPath(path), []byte("shards=1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenOptions(path, Options{Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := db2.Count(); got != rows {
+		t.Errorf("rows = %d after torn marker, want %d (segments must survive)", got, rows)
+	}
+	if _, err := os.Stat(compactMarkerPath(path)); !os.IsNotExist(err) {
+		t.Errorf("torn marker not retired (err=%v)", err)
+	}
+}
+
+func TestScanMergesShardsInInsertionOrder(t *testing.T) {
+	db, err := OpenOptions("", Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const rows = 200
+	for i := 0; i < rows; i++ {
+		m := spreadMsg(i, fmt.Sprintf("%d", i))
+		if err := db.Insert(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := 0
+	db.Scan(func(m wire.Message) bool {
+		if string(m.Content) != fmt.Sprintf("%d", want) {
+			t.Fatalf("Scan position %d yielded %q (shard merge out of order)", want, m.Content)
+		}
+		want++
+		return true
+	})
+	if want != rows {
+		t.Errorf("Scan visited %d rows, want %d", want, rows)
+	}
+}
+
+func TestInsertShardDirectRouting(t *testing.T) {
+	db, err := OpenOptions("", Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.StoreShards() != 4 {
+		t.Fatalf("StoreShards = %d", db.StoreShards())
+	}
+	// Route batches the way matched receiver writers do: shard index =
+	// PartitionHash % shards.
+	byShard := make([][]wire.Message, 4)
+	const rows = 80
+	for i := 0; i < rows; i++ {
+		m := spreadMsg(i, "direct")
+		idx := int(wire.PartitionHash([]byte(m.JobID), []byte(m.Host)) % 4)
+		byShard[idx] = append(byShard[idx], m)
+	}
+	for idx, batch := range byShard {
+		if err := db.InsertShard(idx, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Count() != rows {
+		t.Errorf("Count = %d, want %d", db.Count(), rows)
+	}
+	if err := db.InsertShard(4, byShard[0]); err == nil {
+		t.Error("out-of-range shard index must error")
+	}
+}

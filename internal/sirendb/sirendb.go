@@ -3,288 +3,643 @@
 //
 // The paper's schema is a single table keyed by the UDP header columns
 // (JOBID, STEPID, PID, HASH, HOST, TIME, LAYER, TYPE) with the message
-// CONTENT as payload. This store keeps rows in memory with two secondary
-// indexes (by job and by process key), and persists every insert to an
-// append-only write-ahead log so a receiver restart loses nothing. Replay
-// tolerates a torn final record (crash mid-write) and skips corrupt records
-// (checksummed), in keeping with SIREN's graceful-failure design.
+// CONTENT as payload. The store is sharded: rows, secondary indexes (by job
+// and by process key), and the append-only write-ahead log are split into S
+// shards partitioned by wire.PartitionHash(JOBID, HOST) — the same hash the
+// receiver's dispatcher uses — so concurrent writer shards insert with zero
+// cross-shard lock contention. Each shard persists to its own WAL segment
+// file ("path.0" … "path.S-1"); a per-shard group-commit syncer batches
+// fdatasync calls under a configurable latency bound, so durability does not
+// ride on OS write-back and an fsync never stalls concurrent appends.
+//
+// Every record carries a store-wide sequence number, so Scan/All/ByJob
+// present the merged shards in global insertion order and replay after a
+// crash-interrupted Compact deduplicates records that momentarily exist in
+// two segment files. Replay tolerates a torn final record (crash mid-write)
+// and skips corrupt records (checksummed), in keeping with SIREN's
+// graceful-failure design. Single-file WALs written by earlier versions are
+// migrated to segments on first open, crash-safely.
 package sirendb
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"siren/internal/wire"
-	"siren/internal/xxhash"
 )
 
-// DB is a thread-safe append-only message store.
-type DB struct {
-	mu        sync.RWMutex
-	rows      []wire.Message
-	byJob     map[string][]int
-	byProcess map[string][]int
-	wal       *os.File
-	path      string
-	corrupt   int // records skipped during replay
+// ErrClosed is returned by mutating operations on a persistent store after
+// Close: silently accepting rows that can no longer reach the WAL would turn
+// a lifecycle bug into data loss.
+var ErrClosed = errors.New("sirendb: store is closed")
+
+// ErrLocked is returned by Open when another process holds the store's
+// advisory lock. Two processes appending to the same WAL segments would
+// interleave records and corrupt the log.
+var ErrLocked = errors.New("sirendb: store is locked by another process")
+
+// DefaultSyncInterval is the group-commit latency bound used when
+// Options.SyncInterval is zero: an appended record becomes durable at most
+// this long after the write, amortising fdatasync across every batch that
+// lands in the window.
+const DefaultSyncInterval = 100 * time.Millisecond
+
+// Options configure a store.
+type Options struct {
+	// Shards is the number of store shards, each owning its rows, indexes,
+	// and WAL segment (default min(GOMAXPROCS, 4), matching the receiver's
+	// writer-shard default so batches route shard→shard 1:1). Reopening with
+	// a different count is safe: replay re-partitions rows by hash and reads
+	// every segment on disk regardless of the configured count.
+	Shards int
+	// SyncInterval bounds how long an appended record may stay unsynced
+	// before the group-commit syncer calls fdatasync (0 = DefaultSyncInterval;
+	// negative = fdatasync synchronously on every insert batch).
+	SyncInterval time.Duration
 }
 
-// Open opens (or creates) a database backed by the WAL file at path.
-// An empty path yields a purely in-memory database.
-func Open(path string) (*DB, error) {
-	db := &DB{byJob: make(map[string][]int), byProcess: make(map[string][]int), path: path}
+func (o *Options) defaults() {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+		if o.Shards > 4 {
+			o.Shards = 4
+		}
+	}
+	if o.Shards > 256 {
+		o.Shards = 256
+	}
+	if o.SyncInterval == 0 {
+		o.SyncInterval = DefaultSyncInterval
+	}
+}
+
+// DB is a thread-safe append-only message store, sharded by (JobID, Host).
+type DB struct {
+	path      string // "" = purely in-memory
+	dir       string
+	opts      Options
+	shards    []*shard
+	seq       atomic.Uint64 // last assigned store-wide sequence number
+	corrupt   atomic.Int64  // records skipped during replay
+	closed    atomic.Bool
+	lockFile  *os.File
+	staleSegs []string // segment files with index >= len(shards), folded in by Compact
+
+	stopSync   chan struct{}
+	syncWG     sync.WaitGroup
+	syncErrMu  sync.Mutex
+	syncErr    error       // first background fdatasync failure
+	syncFailed atomic.Bool // fast-path flag for syncErr, checked on every insert
+
+	// testCrashBeforeRename, when non-nil, simulates a process crash inside
+	// Compact's rename phase for crash-recovery tests: returning true before
+	// segment i's rename makes Compact stop dead — committed marker and
+	// remaining temps left in place, no abort.
+	testCrashBeforeRename func(i int) bool
+}
+
+// Open opens (or creates) a database backed by WAL segments derived from
+// path, with default options. An empty path yields a purely in-memory store.
+func Open(path string) (*DB, error) { return OpenOptions(path, Options{}) }
+
+// OpenOptions opens (or creates) a database backed by the WAL segment files
+// "path.0" … "path.S-1", taking an exclusive advisory lock on "path.lock"
+// (ErrLocked if another process holds it) and replaying every intact record
+// found on disk. A single-file WAL written by earlier versions at path itself
+// is migrated to segments before the store becomes writable.
+func OpenOptions(path string, opts Options) (*DB, error) {
+	opts.defaults()
+	db := &DB{path: path, opts: opts, stopSync: make(chan struct{})}
+	db.shards = make([]*shard, opts.Shards)
+	for i := range db.shards {
+		db.shards[i] = newShard()
+	}
 	if path == "" {
 		return db, nil
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	db.dir = filepath.Dir(path)
+	lf, err := acquireLock(path + ".lock")
 	if err != nil {
-		return nil, fmt.Errorf("sirendb: opening %s: %w", path, err)
-	}
-	if err := db.replay(f); err != nil {
-		f.Close()
 		return nil, err
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("sirendb: seeking %s: %w", path, err)
+	db.lockFile = lf
+	if err := db.openSegments(); err != nil {
+		for _, s := range db.shards {
+			if s.wal != nil {
+				s.wal.Close()
+			}
+		}
+		lf.Close()
+		return nil, err
 	}
-	db.wal = f
+	if opts.SyncInterval > 0 {
+		for _, s := range db.shards {
+			db.syncWG.Add(1)
+			go db.syncLoop(s)
+		}
+	}
 	return db, nil
 }
 
-// replay loads all intact records from the WAL.
-func (db *DB) replay(f *os.File) error {
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("sirendb: %w", err)
-	}
-	var hdr [8]byte // 4-byte length + 4-byte checksum
-	for {
-		if _, err := io.ReadFull(f, hdr[:]); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil // clean end or torn header: stop replay
-			}
-			return fmt.Errorf("sirendb: replaying WAL: %w", err)
-		}
-		length := binary.LittleEndian.Uint32(hdr[0:4])
-		sum := binary.LittleEndian.Uint32(hdr[4:8])
-		if length > 64<<20 {
-			return nil // corrupt length: treat as torn tail
-		}
-		payload := make([]byte, length)
-		if _, err := io.ReadFull(f, payload); err != nil {
-			return nil // torn record
-		}
-		if uint32(xxhash.Sum64(payload)) != sum {
-			db.corrupt++
-			continue
-		}
-		msg, err := wire.Parse(payload)
-		if err != nil {
-			db.corrupt++
-			continue
-		}
-		db.appendLocked(msg)
-	}
-}
+// StoreShards reports the number of store shards. Together with InsertShard
+// it forms the direct-routing fast path the receiver uses when its writer
+// count matches.
+func (db *DB) StoreShards() int { return len(db.shards) }
 
 // CorruptRecords reports how many WAL records were skipped during replay.
-func (db *DB) CorruptRecords() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.corrupt
-}
+func (db *DB) CorruptRecords() int { return int(db.corrupt.Load()) }
 
-// Insert stores one message (and appends it to the WAL when persistent).
+// Insert stores one message (and appends it to its WAL segment when
+// persistent).
 func (db *DB) Insert(m wire.Message) error {
 	return db.InsertBatch([]wire.Message{m})
 }
 
-// InsertBatch stores several messages under one lock/flush cycle — the shape
-// the receiver's writer shards naturally produce. WAL serialisation happens
-// before the lock is taken, so concurrent writer shards overlap the encoding
-// work and only the file append and index update serialise.
+// InsertBatch stores several messages under per-shard lock/flush cycles,
+// partitioning them by wire.PartitionHash(JobID, Host). WAL serialisation
+// happens before any lock is taken, so concurrent callers overlap the
+// encoding work and only the segment append and index update serialise —
+// per shard, not globally.
+//
+// Each shard group commits independently: on error the other groups are
+// still attempted (one shard's full disk should not discard rows bound for
+// healthy shards), so a non-nil return means *some* messages were not
+// stored, not that none were. Callers must not blindly retry the whole
+// batch — the stored subset would duplicate; SIREN's loss-tolerant layers
+// treat a failed group like any other counted loss instead.
 func (db *DB) InsertBatch(ms []wire.Message) error {
 	if len(ms) == 0 {
 		return nil
 	}
-	var buf []byte
-	if db.path != "" { // immutable after Open; WAL presence re-checked below
-		for _, m := range ms {
-			buf = appendWALRecord(buf, m)
+	if len(db.shards) == 1 {
+		return db.insertShard(db.shards[0], ms)
+	}
+	groups := make([][]wire.Message, len(db.shards))
+	for _, m := range ms {
+		i := db.shardIndex(m)
+		groups[i] = append(groups[i], m)
+	}
+	var errs []error
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		if err := db.insertShard(db.shards[i], g); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.wal != nil {
-		if _, err := db.wal.Write(buf); err != nil {
+	return errors.Join(errs...)
+}
+
+// InsertShard stores a batch directly into one shard, skipping the
+// per-message hash partitioning. The caller asserts every message hashes to
+// this shard — the receiver's writer shards hold that by construction when
+// writer count equals StoreShards(). A misrouted batch costs nothing but
+// segment locality: queries merge all shards, and replay re-partitions by
+// hash on the next open.
+func (db *DB) InsertShard(shard int, ms []wire.Message) error {
+	if shard < 0 || shard >= len(db.shards) {
+		return fmt.Errorf("sirendb: shard %d out of range [0,%d)", shard, len(db.shards))
+	}
+	if len(ms) == 0 {
+		return nil
+	}
+	return db.insertShard(db.shards[shard], ms)
+}
+
+func (db *DB) shardIndex(m wire.Message) int {
+	if len(db.shards) == 1 {
+		return 0
+	}
+	return int(wire.PartitionHash([]byte(m.JobID), []byte(m.Host)) % uint64(len(db.shards)))
+}
+
+func (db *DB) insertShard(s *shard, ms []wire.Message) error {
+	persistent := db.path != ""
+	if persistent && db.closed.Load() {
+		return ErrClosed
+	}
+	// A failed group commit means durability is already lost for an
+	// acknowledged window; fail inserts immediately (the receiver surfaces
+	// this in its stats) instead of acknowledging rows that may never reach
+	// the platter — the operator learns now, not at Close.
+	if persistent && db.syncFailed.Load() {
+		return db.takeSyncErr()
+	}
+	var buf []byte
+	var offs []int
+	var sums []uint32
+	if persistent {
+		var err error
+		if buf, offs, sums, err = encodeRecords(ms); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	if persistent && s.wal == nil {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	// Sequence numbers are reserved under the shard lock so each shard's
+	// rows (and its segment's records) stay seq-sorted; the atomic keeps
+	// the counter consistent across shards.
+	start := db.seq.Add(uint64(len(ms))) - uint64(len(ms))
+	if buf != nil {
+		for i := range offs {
+			patchRecordSeq(buf, offs[i], sums[i], start+1+uint64(i))
+		}
+		if _, err := s.wal.Write(buf); err != nil {
+			// A short write advanced the file offset past s.written; rewind
+			// so the next append overwrites the partial record instead of
+			// leaving a misframing gap in the segment. If even the rewind
+			// fails the offset is unknowable — poison the shard rather than
+			// let a later append create a gap that frame-skips replay into
+			// acknowledged records.
+			if _, serr := s.wal.Seek(s.written, io.SeekStart); serr != nil {
+				db.recordSyncErr(fmt.Errorf("sirendb: WAL offset unrecoverable after failed write: %w", serr))
+				s.wal.Close()
+				s.wal = nil
+			}
+			s.mu.Unlock()
 			return fmt.Errorf("sirendb: WAL write: %w", err)
 		}
+		s.written += int64(len(buf))
 	}
-	for _, m := range ms {
-		db.appendLocked(m)
+	for i := range ms {
+		s.appendLocked(ms[i], start+1+uint64(i))
+	}
+	s.mu.Unlock()
+	if persistent {
+		if db.opts.SyncInterval < 0 {
+			if err := s.fsync(); err != nil {
+				// Poison like the background path: a failed fdatasync may
+				// have marked the dirty pages clean (Linux ≥ 4.13), so a
+				// "successful" retry would not make the lost window durable.
+				db.recordSyncErr(err)
+				return err
+			}
+			return nil
+		}
+		s.notifyDirty()
 	}
 	return nil
 }
 
-// appendWALRecord frames one message as a length+checksum WAL record.
-func appendWALRecord(buf []byte, m wire.Message) []byte {
-	payload := wire.Encode(m)
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], uint32(xxhash.Sum64(payload)))
-	buf = append(buf, hdr[:]...)
-	return append(buf, payload...)
-}
-
-func (db *DB) appendLocked(m wire.Message) {
-	idx := len(db.rows)
-	db.rows = append(db.rows, m)
-	db.byJob[m.JobID] = append(db.byJob[m.JobID], idx)
-	pk := m.ProcessKey()
-	db.byProcess[pk] = append(db.byProcess[pk], idx)
-}
-
-// Count returns the number of stored messages.
-func (db *DB) Count() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.rows)
-}
-
-// Scan streams every message in insertion order; return false to stop.
-func (db *DB) Scan(f func(m wire.Message) bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	for _, m := range db.rows {
-		if !f(m) {
-			return
+// rlockAll read-locks every shard (ascending, matching the global lock
+// order) so cross-shard reads see one consistent snapshot; the returned
+// function releases them. Per-shard locking would let a concurrent insert
+// land between shard visits and surface a later row without its
+// predecessor — a state the single-mutex store could never expose.
+func (db *DB) rlockAll() func() {
+	for _, s := range db.shards {
+		s.mu.RLock()
+	}
+	return func() {
+		for _, s := range db.shards {
+			s.mu.RUnlock()
 		}
 	}
 }
 
-// All returns a copy of every message in insertion order.
+// Count returns the number of stored messages.
+func (db *DB) Count() int {
+	defer db.rlockAll()()
+	n := 0
+	for _, s := range db.shards {
+		n += len(s.rows)
+	}
+	return n
+}
+
+// Scan streams every message in global insertion order (a seq-merge across
+// shards); return false to stop.
+func (db *DB) Scan(f func(m wire.Message) bool) {
+	defer db.rlockAll()()
+	pos := make([]int, len(db.shards))
+	for {
+		best := -1
+		var bestSeq uint64
+		for i, s := range db.shards {
+			if pos[i] >= len(s.rows) {
+				continue
+			}
+			if sq := s.rows[pos[i]].seq; best < 0 || sq < bestSeq {
+				best, bestSeq = i, sq
+			}
+		}
+		if best < 0 {
+			return
+		}
+		if !f(db.shards[best].rows[pos[best]].msg) {
+			return
+		}
+		pos[best]++
+	}
+}
+
+// All returns a copy of every message in global insertion order.
 func (db *DB) All() []wire.Message {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return append([]wire.Message(nil), db.rows...)
+	out := make([]wire.Message, 0, db.Count())
+	db.Scan(func(m wire.Message) bool {
+		out = append(out, m)
+		return true
+	})
+	return out
+}
+
+// collect gathers the rows selected by idxs from every shard and returns
+// their messages sorted by global sequence.
+func (db *DB) collect(idxs func(*shard) []int) []wire.Message {
+	type seqMsg struct {
+		seq uint64
+		msg wire.Message
+	}
+	var tmp []seqMsg
+	unlock := db.rlockAll()
+	for _, s := range db.shards {
+		for _, i := range idxs(s) {
+			tmp = append(tmp, seqMsg{s.rows[i].seq, s.rows[i].msg})
+		}
+	}
+	unlock()
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i].seq < tmp[j].seq })
+	out := make([]wire.Message, len(tmp))
+	for i := range tmp {
+		out[i] = tmp[i].msg
+	}
+	return out
 }
 
 // ByJob returns all messages of one job in insertion order.
 func (db *DB) ByJob(jobID string) []wire.Message {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	idxs := db.byJob[jobID]
-	out := make([]wire.Message, 0, len(idxs))
-	for _, i := range idxs {
-		out = append(out, db.rows[i])
-	}
-	return out
+	return db.collect(func(s *shard) []int { return s.byJob[jobID] })
 }
 
 // ByProcess returns all messages sharing a process key.
 func (db *DB) ByProcess(processKey string) []wire.Message {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	idxs := db.byProcess[processKey]
-	out := make([]wire.Message, 0, len(idxs))
-	for _, i := range idxs {
-		out = append(out, db.rows[i])
-	}
-	return out
+	return db.collect(func(s *shard) []int { return s.byProcess[processKey] })
 }
 
-// Jobs returns the distinct job IDs, sorted.
-func (db *DB) Jobs() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.byJob))
-	for j := range db.byJob {
-		out = append(out, j)
+// keys returns the sorted union of one secondary-index key set over all
+// shards.
+func (db *DB) keys(pick func(*shard) map[string][]int) []string {
+	set := make(map[string]struct{})
+	unlock := db.rlockAll()
+	for _, s := range db.shards {
+		for k := range pick(s) {
+			set[k] = struct{}{}
+		}
 	}
-	sort.Strings(out)
-	return out
-}
-
-// ProcessKeys returns the distinct process keys, sorted.
-func (db *DB) ProcessKeys() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.byProcess))
-	for k := range db.byProcess {
+	unlock()
+	out := make([]string, 0, len(set))
+	for k := range set {
 		out = append(out, k)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Compact rewrites the WAL to contain exactly the current rows (dropping
-// torn/corrupt residue) and fsyncs it.
+// Jobs returns the distinct job IDs, sorted.
+func (db *DB) Jobs() []string {
+	return db.keys(func(s *shard) map[string][]int { return s.byJob })
+}
+
+// ProcessKeys returns the distinct process keys, sorted.
+func (db *DB) ProcessKeys() []string {
+	return db.keys(func(s *shard) map[string][]int { return s.byProcess })
+}
+
+// Compact rewrites every WAL segment to contain exactly its shard's current
+// rows — dropping torn/corrupt residue, re-homing rows whose segment no
+// longer matches their shard (after a shard-count change), and folding in
+// leftover segments — then removes the leftovers.
+//
+// Compaction is transactional against crashes: every new segment is first
+// written and fsynced as "<segment>.compact" with the file handle kept (it
+// becomes the shard's WAL handle after the rename, so there is no fallible
+// reopen step), then a commit marker is made durable, and only then are the
+// temps renamed into place. A crash before the marker leaves the old
+// segments untouched (orphan temps are swept on the next open); a crash
+// after it is completed by the next open, which finishes the renames from
+// the fsynced temps — so no interleaving of crash and rename can lose a row
+// that lives in a different segment than the one about to be rewritten.
 func (db *DB) Compact() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.wal == nil {
+	if db.path == "" {
 		return nil
 	}
-	tmpPath := db.path + ".compact"
-	tmp, err := os.Create(tmpPath)
-	if err != nil {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	// Freeze the whole store: syncMu keeps the group-commit syncers from
+	// fdatasync-ing handles mid-swap, the write locks freeze rows and WALs.
+	// Lock order (syncMu before mu, ascending shards) matches every other
+	// path.
+	for _, s := range db.shards {
+		s.syncMu.Lock()
+		defer s.syncMu.Unlock()
+	}
+	for _, s := range db.shards {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	for _, s := range db.shards {
+		if s.wal == nil {
+			return ErrClosed
+		}
+	}
+
+	// Phase 1: write and fsync every replacement segment as a temp file.
+	tmps := make([]*os.File, len(db.shards))
+	sizes := make([]int64, len(db.shards))
+	discard := func() {
+		for i, f := range tmps {
+			if f != nil {
+				f.Close()
+				os.Remove(segmentPath(db.path, i) + ".compact")
+			}
+		}
+	}
+	for i, s := range db.shards {
+		f, size, err := writeSegmentSnapshot(segmentPath(db.path, i)+".compact", s.rows)
+		if err != nil {
+			discard()
+			return fmt.Errorf("sirendb: compact: %w", err)
+		}
+		tmps[i], sizes[i] = f, size
+	}
+	if err := fsyncDir(db.dir); err != nil {
+		discard()
 		return fmt.Errorf("sirendb: compact: %w", err)
 	}
-	for _, m := range db.rows {
-		if _, err := tmp.Write(appendWALRecord(nil, m)); err != nil {
-			tmp.Close()
+
+	// Phase 2: commit. Once the marker is durable, the temp set is the
+	// authoritative store state; a crashed process completes the renames on
+	// the next open (completeCompact). If writing the marker errors, it may
+	// nevertheless be (or become) durable — e.g. a Close failure after a
+	// successful Sync — and a durable marker with discarded temps would
+	// roll forward against nothing and delete the leftover segments it
+	// thinks were folded in. So temps may only be discarded once the
+	// marker's removal is itself durable; otherwise fail to the same
+	// poisoned roll-forward state as a post-commit failure.
+	if err := writeCompactMarker(db.path, len(db.shards)); err != nil {
+		if rerr := removeCompactMarker(db.path, db.dir); rerr == nil {
+			discard()
+			return fmt.Errorf("sirendb: compact: %w", err)
+		}
+		return db.compactRollForward(tmps, fmt.Errorf("sirendb: compact: %w", err))
+	}
+
+	// Phase 3: rename temps into place, swapping each shard's WAL handle to
+	// its (still open) temp fd. The marker is durable, so a rename failure
+	// must roll FORWARD, not back: an already-replaced segment holds only
+	// its own shard's rows, and rows cross-homed from it (shard-count
+	// change, misrouted InsertShard) now exist on disk only in the
+	// not-yet-renamed temps — deleting those would orphan them. Keep the
+	// marker and temps for the next open to complete, and poison inserts so
+	// no acknowledged append lands in an old segment the roll-forward will
+	// replace.
+	for i, s := range db.shards {
+		if db.testCrashBeforeRename != nil && db.testCrashBeforeRename(i) {
+			return fmt.Errorf("sirendb: compact: injected crash before rename %d", i)
+		}
+		segPath := segmentPath(db.path, i)
+		if err := os.Rename(segPath+".compact", segPath); err != nil {
+			return db.compactRollForward(tmps[i:], fmt.Errorf("sirendb: compact: %w", err))
+		}
+		old := s.wal
+		s.wal = tmps[i] // the renamed inode; write offset is at its end
+		s.written = sizes[i]
+		s.synced.Store(sizes[i])
+		old.Close() // unlinked by the rename; nothing left to preserve
+	}
+	// Crash ordering: the renames above atomically replace the segments,
+	// but the new directory entries are not durable until the directory
+	// itself is fsynced — without this, a crash right after compaction can
+	// present the old segments again (losing the rewrite) or, on some
+	// filesystems, neither file.
+	if err := fsyncDir(db.dir); err != nil {
+		return fmt.Errorf("sirendb: compact: %w", err)
+	}
+
+	// Phase 4: the leftovers' rows now live in the active segments; drop
+	// them and retire the marker.
+	for _, p := range db.staleSegs {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("sirendb: compact: %w", err)
 		}
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+	db.staleSegs = nil
+	if err := removeCompactMarker(db.path, db.dir); err != nil {
 		return fmt.Errorf("sirendb: compact: %w", err)
 	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("sirendb: compact: %w", err)
-	}
-	if err := db.wal.Close(); err != nil {
-		return fmt.Errorf("sirendb: compact: %w", err)
-	}
-	if err := os.Rename(tmpPath, db.path); err != nil {
-		return fmt.Errorf("sirendb: compact: %w", err)
-	}
-	f, err := os.OpenFile(db.path, os.O_RDWR|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("sirendb: compact: %w", err)
-	}
-	db.wal = f
-	db.corrupt = 0
+	db.corrupt.Store(0)
 	return nil
 }
 
-// Sync flushes the WAL to stable storage.
-func (db *DB) Sync() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.wal == nil {
-		return nil
+// compactRollForward abandons an in-process compaction whose commit marker
+// may be durable: the fsynced temps stay on disk as the authoritative state
+// for the next open's completeCompact, temp handles are released, and the
+// store is poisoned — a row acknowledged into an old segment now would be
+// silently destroyed when the roll-forward replaces that segment.
+func (db *DB) compactRollForward(tmps []*os.File, err error) error {
+	for _, f := range tmps {
+		if f != nil {
+			f.Close()
+		}
 	}
-	return db.wal.Sync()
+	db.recordSyncErr(fmt.Errorf("sirendb: compaction interrupted, reopen to complete: %w", err))
+	return err
 }
 
-// Close syncs and closes the WAL. The in-memory view stays readable.
-func (db *DB) Close() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.wal == nil {
+// Sync is the durability barrier: it fdatasyncs every shard's segment and
+// returns only when every row inserted before the call is stable — the
+// synchronous form of the group commit the background syncers run on a
+// timer. It also surfaces any earlier background sync failure.
+func (db *DB) Sync() error {
+	if db.path == "" {
 		return nil
 	}
-	if err := db.wal.Sync(); err != nil {
-		db.wal.Close()
-		return fmt.Errorf("sirendb: close: %w", err)
+	if db.closed.Load() {
+		return ErrClosed
 	}
-	err := db.wal.Close()
-	db.wal = nil
-	return err
+	for _, s := range db.shards {
+		if err := s.fsync(); err != nil {
+			// Sticky, like the background path: the un-synced window is
+			// lost even if a later fdatasync "succeeds" (Linux marks the
+			// failed dirty pages clean).
+			db.recordSyncErr(err)
+			return err
+		}
+	}
+	return db.takeSyncErr()
+}
+
+// Close stops the group-commit syncers, fdatasyncs and closes every segment,
+// and releases the advisory lock. The in-memory view stays readable; further
+// inserts on a persistent store return ErrClosed. Close is idempotent.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
+	if db.path == "" {
+		return nil
+	}
+	close(db.stopSync)
+	db.syncWG.Wait()
+	var first error
+	for _, s := range db.shards {
+		s.syncMu.Lock()
+		s.mu.Lock()
+		f := s.wal
+		s.wal = nil
+		s.mu.Unlock()
+		if f != nil {
+			if err := fdatasync(f); err != nil && first == nil {
+				first = fmt.Errorf("sirendb: close: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("sirendb: close: %w", err)
+			}
+		}
+		s.syncMu.Unlock()
+	}
+	// Closing the lock file releases the flock. The lock file itself stays
+	// on disk: unlinking it would let a concurrent Open lock a fresh inode
+	// while a third process still holds the old one.
+	if db.lockFile != nil {
+		if err := db.lockFile.Close(); err != nil && first == nil {
+			first = fmt.Errorf("sirendb: close: %w", err)
+		}
+	}
+	if first == nil {
+		first = db.takeSyncErr()
+	}
+	return first
+}
+
+func (db *DB) recordSyncErr(err error) {
+	db.syncErrMu.Lock()
+	if db.syncErr == nil {
+		db.syncErr = err
+	}
+	db.syncErrMu.Unlock()
+	db.syncFailed.Store(true)
+}
+
+// takeSyncErr reports the first background fdatasync failure. The error is
+// sticky: durability was lost for some acknowledged window, so every later
+// insert and barrier keeps failing rather than pretending the store
+// recovered.
+func (db *DB) takeSyncErr() error {
+	db.syncErrMu.Lock()
+	defer db.syncErrMu.Unlock()
+	return db.syncErr
 }

@@ -92,7 +92,7 @@ func TestPersistAndReplay(t *testing.T) {
 
 func TestTornTailTolerated(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "siren.wal")
-	db, err := Open(path)
+	db, err := OpenOptions(path, Options{Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,16 +101,18 @@ func TestTornTailTolerated(t *testing.T) {
 	}
 	db.Close()
 
-	// Simulate a crash mid-write: truncate the last few bytes.
-	info, err := os.Stat(path)
+	// Simulate a crash mid-write: truncate the last few bytes of the
+	// single segment.
+	seg := segmentPath(path, 0)
+	info, err := os.Stat(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Truncate(path, info.Size()-7); err != nil {
+	if err := os.Truncate(seg, info.Size()-7); err != nil {
 		t.Fatal(err)
 	}
 
-	db2, err := Open(path)
+	db2, err := OpenOptions(path, Options{Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +124,7 @@ func TestTornTailTolerated(t *testing.T) {
 
 func TestCorruptRecordSkipped(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "siren.wal")
-	db, err := Open(path)
+	db, err := OpenOptions(path, Options{Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,16 +134,21 @@ func TestCorruptRecordSkipped(t *testing.T) {
 	db.Close()
 
 	// Flip a byte inside the middle record's payload.
-	data, err := os.ReadFile(path)
+	seg := segmentPath(path, 0)
+	data, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	data[len(data)/2] ^= 0xFF
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	recs := recordOffsets(t, data)
+	if len(recs) != 3 {
+		t.Fatalf("parsed %d records, want 3", len(recs))
+	}
+	data[recs[1].payloadOff+2] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
-	db2, err := Open(path)
+	db2, err := OpenOptions(path, Options{Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"siren/internal/xxhash"
 )
 
 // Message types: the data categories siren.so collects.
@@ -155,6 +157,16 @@ func PartitionFields(datagram []byte) (job, host []byte, ok bool) {
 // fieldPrefixes are the ten fixed header fields preceding CONTENT, in wire
 // order. Precomputed so the parse hot path never concatenates strings.
 var fieldPrefixes = [...]string{"JOBID=", "STEPID=", "PID=", "HASH=", "HOST=", "TIME=", "LAYER=", "TYPE=", "SEQ=", "TOT="}
+
+// PartitionHash is the canonical shard-partitioning hash over the JOBID and
+// HOST header values. The receiver's dispatcher and sirendb's store shards
+// must agree on this function: when the receiver's writer-shard count equals
+// the store's shard count, every message a writer handles hashes to the store
+// shard with the writer's own index, so batches route shard→shard with no
+// re-partitioning and no cross-shard lock contention.
+func PartitionHash(job, host []byte) uint64 {
+	return xxhash.Sum64Seed(host, xxhash.Sum64(job))
+}
 
 // Parse decodes a datagram produced by Encode.
 //

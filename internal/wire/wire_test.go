@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"net"
 	"reflect"
@@ -76,6 +77,37 @@ func TestPartitionFields(t *testing.T) {
 		if _, _, ok := PartitionFields(bad); ok {
 			t.Errorf("PartitionFields accepted %q", bad)
 		}
+	}
+}
+
+func TestPartitionHashAgreesAcrossRepresentations(t *testing.T) {
+	// The receiver hashes the raw header slices from PartitionFields; the
+	// store hashes the parsed Message fields. Both must pick the same shard
+	// for every message, or the writer→store 1:1 routing breaks.
+	for i := 0; i < 50; i++ {
+		m := Message{Header: sampleHeader()}
+		m.JobID = fmt.Sprintf("%d", 4242+i)
+		m.Host = fmt.Sprintf("nid%06d", i)
+		m.Content = []byte("x")
+		d := Encode(m)
+		job, host, ok := PartitionFields(d)
+		if !ok {
+			t.Fatal("PartitionFields rejected a valid datagram")
+		}
+		raw := PartitionHash(job, host)
+		parsed := PartitionHash([]byte(m.JobID), []byte(m.Host))
+		if raw != parsed {
+			t.Fatalf("hash mismatch for job=%s host=%s: raw %x, parsed %x", m.JobID, m.Host, raw, parsed)
+		}
+	}
+	// The hash actually disperses across shard counts used in practice.
+	seen := make(map[uint64]bool)
+	for i := 0; i < 64; i++ {
+		h := PartitionHash([]byte(fmt.Sprintf("job-%d", i)), []byte("nid001001"))
+		seen[h%4] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("64 jobs landed on only %d of 4 shards", len(seen))
 	}
 }
 
