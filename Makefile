@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet fmt fmt-check lint bench bench-smoke bench-store test-replay ci
+.PHONY: build test test-race vet fmt fmt-check lint bench bench-smoke bench-store bench-read test-replay ci
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,18 @@ bench-smoke:
 # ingest comparison against the single-mutex store (EXPERIMENTS.md §3).
 bench-store:
 	$(GO) test -run=NONE -bench='BenchmarkInsertBatch|BenchmarkReceiverIngest' -benchmem ./internal/sirendb ./internal/receiver
+
+# Read-path benchmarks (EXPERIMENTS.md §4): snapshot scans vs the retired
+# full-RLock scan, insert latency under a concurrent scanner, per-job index
+# merges, and the streaming consolidation vs the load-everything baseline —
+# always with -benchmem so allocation regressions are visible. Override
+# BENCHTIME (e.g. BENCHTIME=1x) for a smoke run, -cpu via BENCHCPU for the
+# parallel-speedup curve on multi-core hosts.
+BENCHTIME ?= 2s
+BENCHCPU ?= $(shell nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)
+bench-read:
+	$(GO) test -run=NONE -bench='BenchmarkScanSnapshot|BenchmarkInsertDuringScan|BenchmarkByJob|BenchmarkJobs|BenchmarkConsolidate' \
+		-benchmem -benchtime=$(BENCHTIME) -cpu=$(BENCHCPU) ./internal/sirendb ./internal/postprocess
 
 # WAL durability suite under the race detector: replay-corruption matrix,
 # crash-mid-group-commit and crash-mid-compact recovery, locking, migration,

@@ -15,7 +15,6 @@ import (
 	"strings"
 
 	"siren/internal/analysis"
-	"siren/internal/postprocess"
 	"siren/internal/pysec"
 	"siren/internal/report"
 	"siren/internal/sirendb"
@@ -34,8 +33,10 @@ func main() {
 		fatal(err)
 	}
 	defer db.Close()
-	records, stats := postprocess.Consolidate(db)
-	data := analysis.NewDataset(records)
+	// Streaming, shard-parallel consolidation over a snapshot cursor: the
+	// WAL-replayed store is grouped per job without ever materialising the
+	// whole message set.
+	data, stats := analysis.ConsolidateDataset(db.Snapshot())
 
 	if *audit {
 		runAudit(data)

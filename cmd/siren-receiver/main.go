@@ -13,8 +13,12 @@
 package main
 
 import (
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,6 +40,7 @@ func main() {
 	syncEvery := flag.Duration("sync-interval", sirendb.DefaultSyncInterval,
 		"group-commit fsync latency bound (negative = fsync every batch)")
 	statsEvery := flag.Duration("stats-interval", 10*time.Second, "period of the stats log line (0 disables)")
+	expvarAddr := flag.String("expvar-addr", "", "HTTP listen address exporting receiver+store stats as expvar under /debug/vars (\"\" disables)")
 	flag.Parse()
 
 	// Defaulting the store shards to the writer count keeps the writer→store
@@ -62,6 +67,27 @@ func main() {
 	}
 	fmt.Printf("siren-receiver: listening on %s, storing to %s (%d shards, %d replayed rows, %d corrupt skipped)\n",
 		bound, *dbPath, db.StoreShards(), db.Count(), db.CorruptRecords())
+
+	// Telemetry: the same counters the periodic log line prints, plus the
+	// store's WAL/durability state, as machine-readable expvar JSON — the
+	// backpressure counters (Dropped, InsertErrors, InsertLost) are the
+	// ones an operator alerts on.
+	if *expvarAddr != "" {
+		expvar.Publish("siren_receiver", expvar.Func(func() any { return rcv.Stats().Snapshot() }))
+		expvar.Publish("siren_store", expvar.Func(func() any { return db.Stats() }))
+		ln, err := net.Listen("tcp", *expvarAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("siren-receiver: expvar on http://%s/debug/vars\n", ln.Addr())
+		go func() {
+			// expvar registers itself on http.DefaultServeMux.
+			if err := http.Serve(ln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintln(os.Stderr, "siren-receiver: expvar server:", err)
+			}
+		}()
+		defer ln.Close()
+	}
 
 	stop := make(chan struct{})
 	if *statsEvery > 0 {

@@ -4,12 +4,18 @@
 package siren_test
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func runCmd(t *testing.T, dir string, name string, args ...string) string {
@@ -99,6 +105,109 @@ func TestCommandLineSurface(t *testing.T) {
 	out = runCmd(t, work, filepath.Join(bin, "siren-scan"), filepath.Join(bin, "siren-hash"))
 	if !strings.Contains(out, "FILE_H") {
 		t.Errorf("scan output wrong:\n%s", truncate(out))
+	}
+}
+
+// TestReceiverExpvar runs siren-receiver with -expvar-addr, feeds it real
+// datagrams over UDP, and checks the /debug/vars endpoint serves the
+// receiver and store counters (the backpressure-telemetry satellite).
+func TestReceiverExpvar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping CLI build")
+	}
+	repo, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "siren-receiver")
+	runCmd(t, repo, "go", "build", "-o", bin, "./cmd/siren-receiver")
+
+	work := t.TempDir()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-db", filepath.Join(work, "siren.wal"),
+		"-expvar-addr", "127.0.0.1:0",
+		"-stats-interval", "0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			t.Error("receiver did not exit on SIGTERM")
+		}
+	}()
+
+	// The first two stdout lines announce the bound UDP and expvar
+	// addresses.
+	var udpAddr, expvarURL string
+	sc := bufio.NewScanner(stdout)
+	for (udpAddr == "" || expvarURL == "") && sc.Scan() {
+		line := sc.Text()
+		if _, rest, ok := strings.Cut(line, "listening on "); ok {
+			udpAddr = strings.Fields(rest)[0]
+			udpAddr = strings.TrimSuffix(udpAddr, ",")
+		}
+		if _, rest, ok := strings.Cut(line, "expvar on "); ok {
+			expvarURL = strings.TrimSpace(rest)
+		}
+	}
+	if udpAddr == "" || expvarURL == "" {
+		t.Fatalf("startup lines missing (udp=%q expvar=%q): %v", udpAddr, expvarURL, sc.Err())
+	}
+
+	// Feed a few real datagrams so the counters move.
+	conn, err := net.Dial("udp", udpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 5; i++ {
+		datagram := fmt.Sprintf(
+			"SIREN1|JOBID=7|STEPID=0|PID=%d|HASH=abcd|HOST=n1|TIME=1733900000|LAYER=SELF|TYPE=METADATA|SEQ=0|TOT=1|CONTENT=EXE=/bin/x", i)
+		if _, err := conn.Write([]byte(datagram)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Poll /debug/vars until the datagrams surface in the counters.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var vars struct {
+			Receiver struct {
+				Received int64
+				Inserted int64
+			} `json:"siren_receiver"`
+			Store struct {
+				Rows   int
+				Shards int
+			} `json:"siren_store"`
+		}
+		resp, err := http.Get(expvarURL)
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&vars)
+			resp.Body.Close()
+		}
+		if err == nil && vars.Receiver.Received >= 5 && vars.Store.Rows >= 5 {
+			if vars.Store.Shards < 1 {
+				t.Errorf("store stats missing shard count: %+v", vars.Store)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("expvar counters never reached 5 datagrams: last err=%v vars=%+v", err, vars)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"siren/internal/postprocess"
+	"siren/internal/sirendb"
 	"siren/internal/toolchain"
 )
 
@@ -35,6 +36,16 @@ func NewDataset(records []*postprocess.ProcessRecord) *Dataset {
 		d.users[uid] = fmt.Sprintf("user_%d", i+1)
 	}
 	return d
+}
+
+// ConsolidateDataset consolidates a store snapshot through the streaming,
+// shard-parallel read path and wraps the records in a Dataset — the
+// analysis-side entry point for whole-campaign group-bys. The store is
+// never materialised as one []wire.Message; only the consolidated process
+// records (what the tables and figures actually consume) are held.
+func ConsolidateDataset(snap *sirendb.Snapshot) (*Dataset, postprocess.Stats) {
+	records, stats := postprocess.ConsolidateSnapshot(snap, postprocess.StreamOptions{})
+	return NewDataset(records), stats
 }
 
 // UserName returns the anonymised name for a UID.

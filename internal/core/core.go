@@ -139,14 +139,16 @@ func (p *Pipeline) Drain() error {
 	return err
 }
 
-// Analyze drains the pipeline (if needed), consolidates all messages, and
-// returns the analysis dataset plus post-processing statistics.
+// Analyze drains the pipeline (if needed), consolidates all messages via
+// the streaming, shard-parallel read path (snapshot cursors end to end —
+// the store is never materialised as one message slice), and returns the
+// analysis dataset plus post-processing statistics.
 func (p *Pipeline) Analyze() (*analysis.Dataset, postprocess.Stats, error) {
 	if err := p.Drain(); err != nil {
 		return nil, postprocess.Stats{}, err
 	}
-	records, stats := postprocess.Consolidate(p.db)
-	return analysis.NewDataset(records), stats, nil
+	data, stats := analysis.ConsolidateDataset(p.db.Snapshot())
+	return data, stats, nil
 }
 
 // Close drains and releases everything, syncing the WAL.

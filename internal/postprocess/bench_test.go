@@ -1,0 +1,124 @@
+// Consolidation benchmarks (EXPERIMENTS.md §4):
+//
+//	go test -bench=BenchmarkConsolidate -benchmem ./internal/postprocess
+//
+// BenchmarkConsolidate compares the streaming, shard-parallel path against
+// the load-everything baseline (db.All() → ConsolidateMessages) on the same
+// store. The headline is -benchmem: the baseline's footprint grows with the
+// total message count (the full []wire.Message copy plus one global
+// reassembly and group map), the streaming path's with the in-flight jobs.
+package postprocess
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"testing"
+	"time"
+)
+
+func BenchmarkConsolidate(b *testing.B) {
+	// ~64 jobs × 24 processes × (METADATA + chunked OBJECTS + FILE_H)
+	// ≈ 10.7k messages — campaign-shaped, multi-shard, shard-spanning jobs.
+	db := synthWorld(b, 4, 64, 24)
+	defer db.Close()
+	want := 64 * 24
+
+	for _, workers := range []int{0, 1} {
+		name := "streaming"
+		if workers > 0 {
+			name = fmt.Sprintf("streaming-workers=%d", workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				recs, _ := ConsolidateSnapshot(db.Snapshot(), StreamOptions{Workers: workers})
+				if len(recs) != want {
+					b.Fatalf("records = %d, want %d", len(recs), want)
+				}
+			}
+		})
+	}
+	b.Run("load-everything-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			recs, _ := ConsolidateMessages(db.All())
+			if len(recs) != want {
+				b.Fatalf("records = %d, want %d", len(recs), want)
+			}
+		}
+	})
+}
+
+// BenchmarkConsolidatePeakMemory pins the acceptance criterion directly:
+// peak live heap during consolidation. The streaming consumer aggregates
+// per job without retaining records (the Execution-Fingerprint-Dictionary
+// shape: repeated whole-campaign group-bys); the baseline must materialise
+// every message and record by construction. Reported as "peak-live-MB", the
+// high-water mark of HeapAlloc sampled during the pass over a floor levelled
+// by runtime.GC.
+func BenchmarkConsolidatePeakMemory(b *testing.B) {
+	// 256 jobs × 32 processes ≈ 57k messages: big enough that the sampler
+	// (200 µs period) catches the footprint shape.
+	db := synthWorld(b, 4, 256, 32)
+	defer db.Close()
+
+	// Keep HeapAlloc tracking *live* memory: at the default GOGC=100 the
+	// heap balloons to 2× live before a collection, burying the retained-set
+	// difference under transient garbage.
+	defer debug.SetGCPercent(debug.SetGCPercent(10))
+
+	samplePeak := func(stop chan struct{}, peak *uint64) *sync.WaitGroup {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ms runtime.MemStats
+			for {
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > *peak {
+					*peak = ms.HeapAlloc
+				}
+				select {
+				case <-stop:
+					return
+				case <-time.After(200 * time.Microsecond):
+				}
+			}
+		}()
+		return &wg
+	}
+
+	run := func(b *testing.B, pass func() int) {
+		var peak uint64
+		for i := 0; i < b.N; i++ {
+			runtime.GC()
+			stop := make(chan struct{})
+			wg := samplePeak(stop, &peak)
+			if jobs := pass(); jobs != 256 {
+				b.Fatalf("consolidated %d jobs", jobs)
+			}
+			close(stop)
+			wg.Wait()
+		}
+		b.ReportMetric(float64(peak)/(1<<20), "peak-live-MB")
+	}
+
+	b.Run("streaming-aggregate", func(b *testing.B) {
+		run(b, func() int {
+			jobs := 0
+			ConsolidateStream(db.Snapshot(), StreamOptions{}, func(j JobRecords) bool {
+				jobs++ // aggregate-and-drop: nothing retained per job
+				return true
+			})
+			return jobs
+		})
+	})
+	b.Run("load-everything-baseline", func(b *testing.B) {
+		run(b, func() int {
+			_, stats := ConsolidateMessages(db.All())
+			return stats.Jobs
+		})
+	})
+}

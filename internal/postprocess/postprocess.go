@@ -93,14 +93,37 @@ type Stats struct {
 	JobsWithMissing      int
 }
 
-// Consolidate reads every message in db and produces one ProcessRecord per
-// process instance, sorted by (Time, JobID, PID, ExeHash) for determinism.
+// Consolidate snapshots db and produces one ProcessRecord per process
+// instance, sorted by (Time, JobID, PID, ExeHash) for determinism.
+//
+// Internally this rides the streaming, shard-parallel read path
+// (ConsolidateSnapshot): the store is never materialised as one
+// []wire.Message, and peak memory is bounded by the jobs in flight — one
+// per store shard — plus the output records, instead of the whole store.
 func Consolidate(db *sirendb.DB) ([]*ProcessRecord, Stats) {
-	msgs := db.All()
-	return ConsolidateMessages(msgs)
+	return ConsolidateSnapshot(db.Snapshot(), StreamOptions{})
 }
 
-// ConsolidateMessages is Consolidate over an explicit message slice.
+// ConsolidateMessages is consolidation over an explicit message slice — the
+// compatibility entry point for callers that already hold messages in
+// memory, and the load-everything baseline BenchmarkConsolidate compares
+// the streaming path against.
+func ConsolidateMessages(msgs []wire.Message) ([]*ProcessRecord, Stats) {
+	stats := Stats{Messages: len(msgs)}
+	out, nRecords := consolidateChunk(msgs)
+	stats.Records = nRecords
+	sortRecords(out)
+	countRecordStats(&stats, out)
+	return out, stats
+}
+
+// consolidateChunk consolidates one self-contained message subset into
+// process records. "Self-contained" means every chunk and record of every
+// process mentioned is inside msgs — true for the whole store, and equally
+// true for any (job, host)-closed subset, because the grouping key below
+// never crosses a job or a host. That closure is what lets the streaming
+// path consolidate per (shard, job) segment and still produce exactly the
+// records a whole-store pass would.
 //
 // Constructor and destructor messages of the same process carry different
 // TIME values (data is collected at start-up *and* before termination), so
@@ -110,10 +133,12 @@ func Consolidate(db *sirendb.DB) ([]*ProcessRecord, Stats) {
 // with the same PID and executable path) and starts a new process instance;
 // exec()-style reuse within one second is already separated by the
 // executable-path HASH column, per the paper.
-func ConsolidateMessages(msgs []wire.Message) ([]*ProcessRecord, Stats) {
-	stats := Stats{Messages: len(msgs)}
+//
+// Records are returned in identity-group first-appearance order, with the
+// derived Python imports already extracted.
+func consolidateChunk(msgs []wire.Message) (out []*ProcessRecord, nRecords int) {
 	records := wire.Reassemble(msgs)
-	stats.Records = len(records)
+	nRecords = len(records)
 
 	identity := func(h wire.Header) string {
 		return strings.Join([]string{h.JobID, h.StepID, strconv.Itoa(h.PID), h.Hash, h.Host}, "\x1f")
@@ -128,7 +153,6 @@ func ConsolidateMessages(msgs []wire.Message) ([]*ProcessRecord, Stats) {
 		groups[k] = append(groups[k], rec)
 	}
 
-	var out []*ProcessRecord
 	for _, k := range order {
 		recs := groups[k]
 		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Header.Time < recs[j].Header.Time })
@@ -164,6 +188,12 @@ func ConsolidateMessages(msgs []wire.Message) ([]*ProcessRecord, Stats) {
 			p.Imports = pyenv.ExtractImports(p.Maps)
 		}
 	}
+	return out, nRecords
+}
+
+// sortRecords orders records by (Time, JobID, PID, ExeHash) — the
+// deterministic output order of every consolidation entry point.
+func sortRecords(out []*ProcessRecord) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Time != b.Time {
@@ -177,7 +207,11 @@ func ConsolidateMessages(msgs []wire.Message) ([]*ProcessRecord, Stats) {
 		}
 		return a.ExeHash < b.ExeHash
 	})
+}
 
+// countRecordStats fills the process- and job-level counters from the final
+// record set.
+func countRecordStats(stats *Stats, out []*ProcessRecord) {
 	jobs := make(map[string]bool)
 	jobsMissing := make(map[string]bool)
 	for _, p := range out {
@@ -190,7 +224,6 @@ func ConsolidateMessages(msgs []wire.Message) ([]*ProcessRecord, Stats) {
 	}
 	stats.Jobs = len(jobs)
 	stats.JobsWithMissing = len(jobsMissing)
-	return out, stats
 }
 
 func applySelf(p *ProcessRecord, typ, content string) {

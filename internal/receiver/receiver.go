@@ -53,12 +53,38 @@ type Stats struct {
 	InsertLost   atomic.Int64 // messages in failed InsertBatch calls (upper bound: a partially-applied batch counts whole)
 }
 
+// StatsSnapshot is a plain-value copy of the counters at one instant — the
+// shape cmd/siren-receiver exports over expvar (the field names become the
+// JSON keys of the "siren_receiver" var).
+type StatsSnapshot struct {
+	Received     int64
+	Inserted     int64
+	Malformed    int64
+	Dropped      int64
+	InsertErrors int64
+	InsertLost   int64
+}
+
+// Snapshot copies the counters. Each counter is loaded atomically; the set
+// is not a consistent cut across counters (a datagram may be counted
+// received but not yet inserted), which telemetry tolerates.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Received:     s.Received.Load(),
+		Inserted:     s.Inserted.Load(),
+		Malformed:    s.Malformed.Load(),
+		Dropped:      s.Dropped.Load(),
+		InsertErrors: s.InsertErrors.Load(),
+		InsertLost:   s.InsertLost.Load(),
+	}
+}
+
 // String renders a one-line snapshot, the shape cmd/siren-receiver logs
 // periodically.
 func (s *Stats) String() string {
+	v := s.Snapshot()
 	return fmt.Sprintf("received=%d inserted=%d malformed=%d dropped=%d insert_errors=%d insert_lost=%d",
-		s.Received.Load(), s.Inserted.Load(), s.Malformed.Load(),
-		s.Dropped.Load(), s.InsertErrors.Load(), s.InsertLost.Load())
+		v.Received, v.Inserted, v.Malformed, v.Dropped, v.InsertErrors, v.InsertLost)
 }
 
 // Store is the destination a receiver drains into. *sirendb.DB implements

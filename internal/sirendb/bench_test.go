@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -87,6 +88,140 @@ func BenchmarkInsertBatch(b *testing.B) {
 				}
 				benchInsertBatch(b, path, shards, 4)
 			})
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Read path: snapshot scans versus the retired full-RLock scan
+// (EXPERIMENTS.md §4).
+
+// benchReadDB seeds an in-memory sharded store with rows spread over jobs
+// and hosts, the shape a campaign leaves behind.
+func benchReadDB(b *testing.B, shards, rows int) *DB {
+	b.Helper()
+	db, err := OpenOptions("", Options{Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batchLen = 256
+	batch := make([]wire.Message, 0, batchLen)
+	for i := 0; i < rows; i++ {
+		m := benchBatch(fmt.Sprintf("job-%d", i%16), fmt.Sprintf("nid%06d", i%8), 1)[0]
+		m.PID = i
+		batch = append(batch, m)
+		if len(batch) == batchLen || i == rows-1 {
+			if err := db.InsertBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	return db
+}
+
+// BenchmarkScanSnapshot measures a whole-store scan on an idle store: the
+// snapshot path (brief lock, then lock-free merge) against the pre-snapshot
+// shape that held every shard RLock for the scan's duration.
+func BenchmarkScanSnapshot(b *testing.B) {
+	const rows = 100_000
+	for _, mode := range []struct {
+		name string
+		scan func(*DB, func(wire.Message) bool)
+	}{
+		{"scan=snapshot", (*DB).Scan},
+		{"scan=full-rlock-baseline", (*DB).scanHoldingAllLocks},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			db := benchReadDB(b, 4, rows)
+			defer db.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				mode.scan(db, func(m wire.Message) bool { n++; return true })
+				if n != rows {
+					b.Fatalf("scanned %d of %d", n, rows)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInsertDuringScan prices what the full-RLock scan cost writers: a
+// background goroutine scans the store in a loop while the benchmark op is
+// one 64-message InsertBatch. Under the baseline every insert stalls until
+// the in-flight scan releases the shard locks; under the snapshot path the
+// scanner holds locks only for the O(shards) capture.
+func BenchmarkInsertDuringScan(b *testing.B) {
+	const rows = 100_000
+	for _, mode := range []struct {
+		name string
+		scan func(*DB, func(wire.Message) bool)
+	}{
+		{"scan=snapshot", (*DB).Scan},
+		{"scan=full-rlock-baseline", (*DB).scanHoldingAllLocks},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			db := benchReadDB(b, 4, rows)
+			defer db.Close()
+			stop := make(chan struct{})
+			var scans atomic.Int64
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					mode.scan(db, func(m wire.Message) bool { return true })
+					scans.Add(1)
+				}
+			}()
+			batch := benchBatch("job-bench", "nid000099", 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.InsertBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+			b.ReportMetric(float64(scans.Load()), "bg-scans")
+		})
+	}
+}
+
+// BenchmarkByJob measures the per-job read: the k-way index merge into one
+// exact-size allocation (the old path re-sorted a growing temporary slice
+// on every call).
+func BenchmarkByJob(b *testing.B) {
+	db := benchReadDB(b, 4, 100_000)
+	defer db.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := len(db.ByJob("job-3")); got != 100_000/16 {
+			b.Fatalf("ByJob = %d rows", got)
+		}
+	}
+}
+
+// BenchmarkJobs measures the sorted-key listing, now served from the
+// per-shard sorted caches after the first call.
+func BenchmarkJobs(b *testing.B) {
+	db := benchReadDB(b, 4, 100_000)
+	defer db.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := len(db.Jobs()); got != 16 {
+			b.Fatalf("Jobs = %d", got)
 		}
 	}
 }

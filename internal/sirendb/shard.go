@@ -28,6 +28,16 @@ type shard struct {
 	wal       *os.File
 	written   int64 // valid bytes appended to the segment (under mu)
 
+	// jobKeys/procKeys cache the sorted key sets of the two indexes so
+	// Jobs/ProcessKeys stop re-sorting on every call. A cache entry is an
+	// immutable slice stamped with the map size it was built from; the maps
+	// only ever gain keys, so size equality means freshness. Readers load
+	// and (re)build the caches under the shard's read lock — a racing
+	// duplicate rebuild stores an identical value, and the atomic pointer
+	// keeps old snapshots of the slice valid forever.
+	jobKeys  atomic.Pointer[sortedKeys]
+	procKeys atomic.Pointer[sortedKeys]
+
 	// synced is how many segment bytes are known durable (fdatasync
 	// confirmed). Only the group-commit path under syncMu advances it, so
 	// it grows monotonically; the crash-recovery tests read it to model
@@ -41,6 +51,28 @@ type shard struct {
 	// after the first unsynced append; further appends in the window
 	// piggyback on the pending commit.
 	dirty chan struct{}
+}
+
+// sortedKeys is an immutable sorted key cache for one secondary index.
+type sortedKeys struct {
+	keys []string
+	n    int // len of the index map when built; maps only grow, so n == len(m) ⇔ fresh
+}
+
+// sortedKeysOf returns the sorted keys of index map m through the cache,
+// rebuilding it only when the map gained keys since the last build. Call
+// with the shard lock held (read suffices).
+func sortedKeysOf(cache *atomic.Pointer[sortedKeys], m map[string][]int) []string {
+	if c := cache.Load(); c != nil && c.n == len(m) {
+		return c.keys
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	cache.Store(&sortedKeys{keys: keys, n: len(m)})
+	return keys
 }
 
 func newShard() *shard {
@@ -72,6 +104,8 @@ func (s *shard) rebuildIndex() {
 	sort.SliceStable(s.rows, func(i, j int) bool { return s.rows[i].seq < s.rows[j].seq })
 	s.byJob = make(map[string][]int)
 	s.byProcess = make(map[string][]int)
+	s.jobKeys.Store(nil)
+	s.procKeys.Store(nil)
 	for idx, r := range s.rows {
 		s.byJob[r.msg.JobID] = append(s.byJob[r.msg.JobID], idx)
 		pk := r.msg.ProcessKey()

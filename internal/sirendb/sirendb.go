@@ -28,7 +28,6 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -202,9 +201,11 @@ func (db *DB) InsertBatch(ms []wire.Message) error {
 // InsertShard stores a batch directly into one shard, skipping the
 // per-message hash partitioning. The caller asserts every message hashes to
 // this shard — the receiver's writer shards hold that by construction when
-// writer count equals StoreShards(). A misrouted batch costs nothing but
-// segment locality: queries merge all shards, and replay re-partitions by
-// hash on the next open.
+// writer count equals StoreShards(). A misrouted batch costs segment
+// locality, not correctness: queries merge all shards, replay re-partitions
+// by hash on the next open, and the streaming consolidation's fan-in
+// detects identities split across shards and falls back to a merged
+// cross-shard pass for the affected job.
 func (db *DB) InsertShard(shard int, ms []wire.Message) error {
 	if shard < 0 || shard >= len(db.shards) {
 		return fmt.Errorf("sirendb: shard %d out of range [0,%d)", shard, len(db.shards))
@@ -319,9 +320,35 @@ func (db *DB) Count() int {
 	return n
 }
 
+// rowViews captures every shard's row-slice header under a brief all-shard
+// read lock — the lightest possible consistent cut, O(shards) work. Rows
+// are append-only after open, so the captured prefixes stay immutable.
+func (db *DB) rowViews() [][]row {
+	views := make([][]row, len(db.shards))
+	unlock := db.rlockAll()
+	for i, s := range db.shards {
+		views[i] = s.rows
+	}
+	unlock()
+	return views
+}
+
 // Scan streams every message in global insertion order (a seq-merge across
-// shards); return false to stop.
+// shards); return false to stop. Scan reads a point-in-time snapshot
+// captured under a brief lock: the callback runs with no store lock held,
+// so it may block, take arbitrarily long, or even insert into the store
+// without stalling writers or deadlocking; rows inserted after the Scan
+// began are not surfaced. Use Snapshot for repeated reads of one cut.
 func (db *DB) Scan(f func(m wire.Message) bool) {
+	iterRows(db.rowViews(), f)
+}
+
+// scanHoldingAllLocks is the pre-snapshot read path: the same k-way merge,
+// performed while holding every shard RLock for the full duration of the
+// scan — so every concurrent insert stalls until the scan finishes. Kept
+// only as the baseline for BenchmarkScanSnapshot; no production caller
+// remains.
+func (db *DB) scanHoldingAllLocks(f func(m wire.Message) bool) {
 	defer db.rlockAll()()
 	pos := make([]int, len(db.shards))
 	for {
@@ -347,74 +374,157 @@ func (db *DB) Scan(f func(m wire.Message) bool) {
 
 // All returns a copy of every message in global insertion order.
 func (db *DB) All() []wire.Message {
-	out := make([]wire.Message, 0, db.Count())
-	db.Scan(func(m wire.Message) bool {
+	views := db.rowViews()
+	n := 0
+	for _, v := range views {
+		n += len(v)
+	}
+	out := make([]wire.Message, 0, n)
+	iterRows(views, func(m wire.Message) bool {
 		out = append(out, m)
 		return true
 	})
 	return out
 }
 
-// collect gathers the rows selected by idxs from every shard and returns
-// their messages sorted by global sequence.
-func (db *DB) collect(idxs func(*shard) []int) []wire.Message {
-	type seqMsg struct {
-		seq uint64
-		msg wire.Message
-	}
-	var tmp []seqMsg
+// indexViews captures, under a brief all-shard read lock, each shard's rows
+// plus one secondary-index entry — slice headers only, so the lock is held
+// for O(shards) work and the merge below runs lock-free.
+func (db *DB) indexViews(pick func(*shard) []int) (rows [][]row, idxs [][]int, n int) {
+	rows = make([][]row, len(db.shards))
+	idxs = make([][]int, len(db.shards))
 	unlock := db.rlockAll()
-	for _, s := range db.shards {
-		for _, i := range idxs(s) {
-			tmp = append(tmp, seqMsg{s.rows[i].seq, s.rows[i].msg})
-		}
+	for i, s := range db.shards {
+		rows[i] = s.rows
+		idxs[i] = pick(s)
+		n += len(idxs[i])
 	}
 	unlock()
-	sort.Slice(tmp, func(i, j int) bool { return tmp[i].seq < tmp[j].seq })
-	out := make([]wire.Message, len(tmp))
-	for i := range tmp {
-		out[i] = tmp[i].msg
-	}
+	return rows, idxs, n
+}
+
+// ByJob returns all messages of one job in insertion order. The result is
+// one exact-size allocation: per-shard index lists are already
+// sequence-sorted, so the shards k-way merge without the per-call sort and
+// temporary (seq, msg) slice the old read path paid.
+func (db *DB) ByJob(jobID string) []wire.Message {
+	rows, idxs, n := db.indexViews(func(s *shard) []int { return s.byJob[jobID] })
+	out := make([]wire.Message, 0, n)
+	mergeIndexed(rows, idxs, func(m wire.Message) bool {
+		out = append(out, m)
+		return true
+	})
 	return out
 }
 
-// ByJob returns all messages of one job in insertion order.
-func (db *DB) ByJob(jobID string) []wire.Message {
-	return db.collect(func(s *shard) []int { return s.byJob[jobID] })
+// ByJobFunc streams one job's messages in insertion order without
+// materialising a slice — the zero-copy variant of ByJob. Return false to
+// stop. No store lock is held while f runs.
+func (db *DB) ByJobFunc(jobID string, f func(m wire.Message) bool) {
+	rows, idxs, _ := db.indexViews(func(s *shard) []int { return s.byJob[jobID] })
+	mergeIndexed(rows, idxs, f)
 }
 
-// ByProcess returns all messages sharing a process key.
+// ByProcess returns all messages sharing a process key, in insertion order.
 func (db *DB) ByProcess(processKey string) []wire.Message {
-	return db.collect(func(s *shard) []int { return s.byProcess[processKey] })
+	rows, idxs, n := db.indexViews(func(s *shard) []int { return s.byProcess[processKey] })
+	out := make([]wire.Message, 0, n)
+	mergeIndexed(rows, idxs, func(m wire.Message) bool {
+		out = append(out, m)
+		return true
+	})
+	return out
+}
+
+// ByProcessFunc streams one process's messages in insertion order — the
+// zero-copy variant of ByProcess. Return false to stop.
+func (db *DB) ByProcessFunc(processKey string, f func(m wire.Message) bool) {
+	rows, idxs, _ := db.indexViews(func(s *shard) []int { return s.byProcess[processKey] })
+	mergeIndexed(rows, idxs, f)
 }
 
 // keys returns the sorted union of one secondary-index key set over all
-// shards.
-func (db *DB) keys(pick func(*shard) map[string][]int) []string {
-	set := make(map[string]struct{})
+// shards, merging the per-shard sorted caches — no per-call re-sort once
+// the caches are warm (they invalidate only when a shard gains a new key).
+func (db *DB) keys(pick func(*shard) []string) []string {
+	lists := make([][]string, len(db.shards))
 	unlock := db.rlockAll()
-	for _, s := range db.shards {
-		for k := range pick(s) {
-			set[k] = struct{}{}
-		}
+	for i, s := range db.shards {
+		lists[i] = pick(s)
 	}
 	unlock()
-	out := make([]string, 0, len(set))
-	for k := range set {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return mergeSortedUnique(lists)
 }
 
 // Jobs returns the distinct job IDs, sorted.
 func (db *DB) Jobs() []string {
-	return db.keys(func(s *shard) map[string][]int { return s.byJob })
+	return db.keys(func(s *shard) []string { return sortedKeysOf(&s.jobKeys, s.byJob) })
 }
 
 // ProcessKeys returns the distinct process keys, sorted.
 func (db *DB) ProcessKeys() []string {
-	return db.keys(func(s *shard) map[string][]int { return s.byProcess })
+	return db.keys(func(s *shard) []string { return sortedKeysOf(&s.procKeys, s.byProcess) })
+}
+
+// mergeSortedUnique k-way merges sorted string lists, dropping duplicates.
+func mergeSortedUnique(lists [][]string) []string {
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	out := make([]string, 0, n)
+	pos := make([]int, len(lists))
+	for {
+		best, found := "", false
+		for i, l := range lists {
+			if pos[i] >= len(l) {
+				continue
+			}
+			if !found || l[pos[i]] < best {
+				best, found = l[pos[i]], true
+			}
+		}
+		if !found {
+			return out
+		}
+		out = append(out, best)
+		for i, l := range lists {
+			if pos[i] < len(l) && l[pos[i]] == best {
+				pos[i]++
+			}
+		}
+	}
+}
+
+// StoreStats is a point-in-time summary of store state for telemetry
+// (cmd/siren-receiver exports it via expvar alongside the receiver's
+// counters).
+type StoreStats struct {
+	Rows           int    // stored messages
+	Shards         int    // store shards
+	LastSeq        uint64 // highest assigned store-wide sequence number
+	CorruptRecords int    // WAL records skipped during replay
+	WALBytes       int64  // bytes appended across all segments
+	WALSynced      int64  // bytes confirmed durable by fdatasync
+	SyncFailed     bool   // a group commit failed; the store is poisoned
+}
+
+// Stats snapshots the store's telemetry counters.
+func (db *DB) Stats() StoreStats {
+	st := StoreStats{
+		Shards:         len(db.shards),
+		LastSeq:        db.seq.Load(),
+		CorruptRecords: int(db.corrupt.Load()),
+		SyncFailed:     db.syncFailed.Load(),
+	}
+	for _, s := range db.shards {
+		s.mu.RLock()
+		st.Rows += len(s.rows)
+		st.WALBytes += s.written
+		s.mu.RUnlock()
+		st.WALSynced += s.synced.Load()
+	}
+	return st
 }
 
 // Compact rewrites every WAL segment to contain exactly its shard's current

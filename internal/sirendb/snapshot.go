@@ -1,0 +1,235 @@
+package sirendb
+
+import (
+	"sort"
+	"sync"
+
+	"siren/internal/wire"
+)
+
+// Snapshot is an immutable point-in-time view of the store.
+//
+// Capture cost is deliberately tiny: under a brief all-shard read lock the
+// snapshot copies each shard's row-slice header and its by-job index map
+// (the map itself, not the rows or the index slices — those are shared).
+// Everything read afterwards runs without touching a store lock. That works
+// because the store is append-only after open: a shard's row slice and its
+// index lists only ever grow, so the first len(rows) entries captured here
+// are never mutated again — concurrent inserts land beyond the snapshot's
+// length and never surface through it. Writers therefore keep inserting at
+// full speed while a scan or a whole-campaign consolidation walks the
+// snapshot; the pre-snapshot read path held every shard RLock for the whole
+// scan and stalled all writers for its duration.
+//
+// The capture is also a consistent cut: the all-shard lock means no insert
+// is mid-flight, so if a row with sequence number S is in the snapshot,
+// every row with a smaller sequence number is too.
+type Snapshot struct {
+	shards  []shardView
+	count   int
+	lastSeq uint64 // highest sequence number assigned at capture time
+
+	jobsOnce sync.Once
+	jobs     []string
+}
+
+// shardView is one shard's captured state: immutable prefixes of shared
+// storage, safe to read without locks.
+type shardView struct {
+	rows  []row
+	byJob map[string][]int
+}
+
+// Snapshot captures the current store contents. The lock is held only for
+// the per-shard header and index-map copies — O(jobs), never O(rows).
+func (db *DB) Snapshot() *Snapshot {
+	sn := &Snapshot{shards: make([]shardView, len(db.shards))}
+	unlock := db.rlockAll()
+	sn.lastSeq = db.seq.Load()
+	for i, s := range db.shards {
+		byJob := make(map[string][]int, len(s.byJob))
+		for k, v := range s.byJob {
+			byJob[k] = v // slice header: the first len(v) entries never change
+		}
+		sn.shards[i] = shardView{rows: s.rows, byJob: byJob}
+		sn.count += len(s.rows)
+	}
+	unlock()
+	return sn
+}
+
+// Shards reports the number of store shards behind the snapshot.
+func (sn *Snapshot) Shards() int { return len(sn.shards) }
+
+// Count reports the number of messages in the snapshot.
+func (sn *Snapshot) Count() int { return sn.count }
+
+// LastSeq reports the highest store-wide sequence number the snapshot
+// contains; every row it yields has Seq <= LastSeq.
+func (sn *Snapshot) LastSeq() uint64 { return sn.lastSeq }
+
+// Cursor iterates one shard's snapshot rows in sequence order, lock-free.
+type Cursor struct {
+	rows []row
+	pos  int
+}
+
+// ShardCursor returns a cursor over shard i's rows. Each shard's rows are
+// sequence-sorted, so a caller merging several cursors by Next's seq value
+// reconstructs global insertion order (Iter does exactly that).
+func (sn *Snapshot) ShardCursor(i int) *Cursor {
+	return &Cursor{rows: sn.shards[i].rows}
+}
+
+// Len reports how many rows remain ahead of the cursor.
+func (c *Cursor) Len() int { return len(c.rows) - c.pos }
+
+// Next returns the next message and its store-wide sequence number.
+func (c *Cursor) Next() (wire.Message, uint64, bool) {
+	if c.pos >= len(c.rows) {
+		return wire.Message{}, 0, false
+	}
+	r := &c.rows[c.pos]
+	c.pos++
+	return r.msg, r.seq, true
+}
+
+// Iter streams every snapshot message in global insertion order (a
+// sequence-merge across the shard cursors); return false to stop. No store
+// lock is held: the callback may block, take arbitrarily long, or insert
+// into the store without stalling writers or deadlocking.
+func (sn *Snapshot) Iter(f func(m wire.Message) bool) {
+	views := make([][]row, len(sn.shards))
+	for i := range sn.shards {
+		views[i] = sn.shards[i].rows
+	}
+	iterRows(views, f)
+}
+
+// Jobs returns the distinct job IDs in the snapshot, sorted. The union and
+// sort run once per snapshot and are cached, so repeated calls are
+// allocation-free.
+func (sn *Snapshot) Jobs() []string {
+	sn.jobsOnce.Do(func() {
+		seen := make(map[string]struct{})
+		for i := range sn.shards {
+			for k := range sn.shards[i].byJob {
+				seen[k] = struct{}{}
+			}
+		}
+		out := make([]string, 0, len(seen))
+		for k := range seen {
+			out = append(out, k)
+		}
+		sort.Strings(out)
+		sn.jobs = out
+	})
+	return sn.jobs
+}
+
+// ShardJobs returns shard i's distinct job IDs in first-appearance
+// (insertion) order — the iteration order of the shard-parallel streaming
+// consolidation workers, chosen so each worker visits its jobs roughly in
+// the order their first rows arrived.
+func (sn *Snapshot) ShardJobs(i int) []string {
+	sv := &sn.shards[i]
+	out := make([]string, 0, len(sv.byJob))
+	for k := range sv.byJob {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(a, b int) bool { return sv.byJob[out[a]][0] < sv.byJob[out[b]][0] })
+	return out
+}
+
+// JobShardCounts maps every job ID in the snapshot to the number of shards
+// holding rows of that job — the fan-in count a streaming per-job reducer
+// waits for before declaring a job complete. Jobs running on several hosts
+// can span shards because partitioning hashes (JobID, Host).
+func (sn *Snapshot) JobShardCounts() map[string]int {
+	out := make(map[string]int)
+	for i := range sn.shards {
+		for k := range sn.shards[i].byJob {
+			out[k]++
+		}
+	}
+	return out
+}
+
+// ShardJobRows streams shard i's rows of one job in insertion order along
+// with each row's store-wide sequence number; return false to stop. Zero
+// copy: the messages alias the stored rows via the shard's index list.
+func (sn *Snapshot) ShardJobRows(shard int, job string, f func(m wire.Message, seq uint64) bool) {
+	sv := &sn.shards[shard]
+	for _, idx := range sv.byJob[job] {
+		r := &sv.rows[idx]
+		if !f(r.msg, r.seq) {
+			return
+		}
+	}
+}
+
+// JobRows streams every row of one job in global insertion order, merged
+// across shards, without copying rows or re-sorting: each shard's index
+// list is already sequence-ascending, so this is a k-way merge — the
+// zero-copy, lock-free counterpart of DB.ByJob.
+func (sn *Snapshot) JobRows(job string, f func(m wire.Message) bool) {
+	rows := make([][]row, len(sn.shards))
+	idxs := make([][]int, len(sn.shards))
+	for i := range sn.shards {
+		rows[i] = sn.shards[i].rows
+		idxs[i] = sn.shards[i].byJob[job]
+	}
+	mergeIndexed(rows, idxs, f)
+}
+
+// iterRows sequence-merges whole row slices — the shared engine behind
+// DB.Scan and Snapshot.Iter. A linear best-pick per step is fine at the
+// store's shard counts (<= 256, typically 4).
+func iterRows(views [][]row, f func(m wire.Message) bool) {
+	pos := make([]int, len(views))
+	for {
+		best := -1
+		var bestSeq uint64
+		for i, rows := range views {
+			if pos[i] >= len(rows) {
+				continue
+			}
+			if sq := rows[pos[i]].seq; best < 0 || sq < bestSeq {
+				best, bestSeq = i, sq
+			}
+		}
+		if best < 0 {
+			return
+		}
+		if !f(views[best][pos[best]].msg) {
+			return
+		}
+		pos[best]++
+	}
+}
+
+// mergeIndexed sequence-merges index-selected rows across shards. Index
+// lists are appended in row order, so each is already sequence-ascending —
+// no sort, no temporary (seq, msg) slice.
+func mergeIndexed(rows [][]row, idxs [][]int, f func(m wire.Message) bool) {
+	pos := make([]int, len(idxs))
+	for {
+		best := -1
+		var bestSeq uint64
+		for i := range idxs {
+			if pos[i] >= len(idxs[i]) {
+				continue
+			}
+			if sq := rows[i][idxs[i][pos[i]]].seq; best < 0 || sq < bestSeq {
+				best, bestSeq = i, sq
+			}
+		}
+		if best < 0 {
+			return
+		}
+		if !f(rows[best][idxs[best][pos[best]]].msg) {
+			return
+		}
+		pos[best]++
+	}
+}
