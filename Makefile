@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet fmt fmt-check lint bench bench-smoke bench-store bench-read test-replay ci
+.PHONY: build test test-race vet fmt fmt-check lint bench bench-smoke bench-store bench-read test-replay test-cluster ci
 
 build:
 	$(GO) build ./...
@@ -42,16 +42,17 @@ bench-smoke:
 bench-store:
 	$(GO) test -run=NONE -bench='BenchmarkInsertBatch|BenchmarkReceiverIngest' -benchmem ./internal/sirendb ./internal/receiver
 
-# Read-path benchmarks (EXPERIMENTS.md §4): snapshot scans vs the retired
+# Read-path benchmarks (EXPERIMENTS.md §4/§5): snapshot scans vs the retired
 # full-RLock scan, insert latency under a concurrent scanner, per-job index
-# merges, and the streaming consolidation vs the load-everything baseline —
+# merges, the streaming consolidation vs the load-everything baseline, and
+# the multi-receiver merged-snapshot consolidation vs the single store —
 # always with -benchmem so allocation regressions are visible. Override
 # BENCHTIME (e.g. BENCHTIME=1x) for a smoke run, -cpu via BENCHCPU for the
 # parallel-speedup curve on multi-core hosts.
 BENCHTIME ?= 2s
 BENCHCPU ?= $(shell nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)
 bench-read:
-	$(GO) test -run=NONE -bench='BenchmarkScanSnapshot|BenchmarkInsertDuringScan|BenchmarkByJob|BenchmarkJobs|BenchmarkConsolidate' \
+	$(GO) test -run=NONE -bench='BenchmarkScanSnapshot|BenchmarkInsertDuringScan|BenchmarkByJob|BenchmarkJobs|BenchmarkConsolidate|BenchmarkMergedConsolidate' \
 		-benchmem -benchtime=$(BENCHTIME) -cpu=$(BENCHCPU) ./internal/sirendb ./internal/postprocess
 
 # WAL durability suite under the race detector: replay-corruption matrix,
@@ -60,5 +61,13 @@ bench-read:
 # test-race already covers these tests, so ci does not run them twice.
 test-replay:
 	$(GO) test -race -count=1 -run 'Replay|Corrupt|Crash|Torn|GroupCommit|Closed|Locked|Legacy|ShardCount|Compact|Persist' ./internal/sirendb
+
+# Multi-receiver deployment suite under the race detector: partition
+# admission at the receiver, merged snapshots over member databases, the
+# merged-vs-single consolidation equivalence, and the 3-receiver UDP
+# end-to-end run (real siren-receiver processes, byte-compared reports).
+test-cluster:
+	$(GO) test -race -count=1 -run 'MultiReceiver|Partition|Merged|OpenSet' \
+		. ./internal/receiver ./internal/sirendb ./internal/postprocess ./internal/wire
 
 ci: build vet fmt-check test-race bench-smoke

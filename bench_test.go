@@ -1,5 +1,5 @@
 // Benchmark harness: one benchmark per table and figure of the paper's
-// evaluation (§4), plus the ablation benches called out in DESIGN.md §6.
+// evaluation (§4), plus the ablation benches called out in DESIGN.md §7.
 // Each table/figure bench renders its output once (into the benchmark log),
 // so `go test -bench=. -benchmem` regenerates the full evaluation alongside
 // the timing numbers.

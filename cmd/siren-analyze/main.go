@@ -1,17 +1,28 @@
-// Command siren-analyze loads a receiver database (WAL file), consolidates
-// the UDP messages into per-process records, and regenerates the paper's
-// tables and figures — the post-processing + statistics stage of the
-// architecture (Figure 1), which the paper implements in Python.
+// Command siren-analyze loads one or more receiver databases (WAL files),
+// consolidates the UDP messages into per-process records, and regenerates
+// the paper's tables and figures — the post-processing + statistics stage of
+// the architecture (Figure 1), which the paper implements in Python.
 //
 // Usage:
 //
 //	siren-analyze -db siren.wal [-csv table5]
+//	siren-analyze -db 'siren-0.wal,siren-1.wal,siren-2.wal'   # multi-receiver
+//	siren-analyze -db 'campaign/siren-*.wal*'                 # glob over members
+//
+// -db takes a comma-separated list of WAL base paths, each element optionally
+// a glob. Glob matches may name the member databases' on-disk artifacts
+// directly (segment files "base.N", "base.lock"); they are folded back to
+// their base paths and deduplicated. Multiple members — the databases of an
+// N-receiver partitioned deployment — are analysed through one merged
+// snapshot, producing exactly the report a single receiver ingesting the
+// whole campaign would.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"siren/internal/analysis"
@@ -22,33 +33,48 @@ import (
 )
 
 func main() {
-	dbPath := flag.String("db", "siren.wal", "WAL file to analyse")
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "siren-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+// run owns the process lifecycle so the deferred set close — which releases
+// every member's advisory lock — fires on error paths too. The old main
+// called os.Exit from a fatal() helper, which skipped deferred closes.
+func run() error {
+	dbSpec := flag.String("db", "siren.wal", "WAL file(s) to analyse: comma-separated base paths, each optionally a glob")
 	csvTable := flag.String("csv", "", "emit one table as CSV instead of the full report (table2|table3|table5|table8)")
 	audit := flag.Bool("audit", false, "cross-reference Python imports against the insecure-package database (paper §6 future work)")
 	clusters := flag.Int("clusters", 0, "report similarity clusters of user executables at this threshold (0 = off)")
 	flag.Parse()
 
-	db, err := sirendb.Open(*dbPath)
+	paths, err := resolveDBPaths(*dbSpec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	defer db.Close()
-	// Streaming, shard-parallel consolidation over a snapshot cursor: the
-	// WAL-replayed store is grouped per job without ever materialising the
-	// whole message set.
-	data, stats := analysis.ConsolidateDataset(db.Snapshot())
+	set, err := sirendb.OpenSet(paths, sirendb.Options{})
+	if err != nil {
+		return err
+	}
+	defer set.Close()
+	// Streaming, shard-parallel consolidation over the merged snapshot
+	// cursor: member databases (one per receiver partition) and their WAL
+	// shards are grouped per job without ever materialising the whole
+	// message set. A single -db path is the one-member degenerate case.
+	data, stats := analysis.ConsolidateDataset(set.Snapshot())
 
 	if *audit {
 		runAudit(data)
-		return
+		return nil
 	}
 	if *clusters > 0 {
 		runClusters(data, *clusters)
-		return
+		return nil
 	}
 	if *csvTable == "" {
 		report.WriteEvaluation(os.Stdout, data, stats)
-		return
+		return nil
 	}
 	switch *csvTable {
 	case "table2":
@@ -80,8 +106,82 @@ func main() {
 		}
 		report.CSV(os.Stdout, []string{"interpreter", "users", "jobs", "procs", "script_h"}, rows)
 	default:
-		fatal(fmt.Errorf("unknown table %q", *csvTable))
+		return fmt.Errorf("unknown table %q", *csvTable)
 	}
+	return nil
+}
+
+// resolveDBPaths expands a -db spec into member WAL base paths: split on
+// commas; an element without glob metacharacters is a literal base path,
+// used verbatim (a fresh WAL path opens an empty store, exactly as before,
+// and a base path that happens to end in digits is never mangled); an
+// element with metacharacters is expanded, its matches — the stores'
+// on-disk artifacts — folded back to base paths, and the result
+// deduplicated preserving order. A pattern matching nothing is an error:
+// silently analysing a freshly created empty store instead of the intended
+// members would report a zero-row campaign as success.
+func resolveDBPaths(spec string) ([]string, error) {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(base string) {
+		if !seen[base] {
+			seen[base] = true
+			out = append(out, base)
+		}
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.ContainsAny(part, "*?[") {
+			add(part)
+			continue
+		}
+		matches, err := filepath.Glob(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad -db pattern %q: %w", part, err)
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("-db pattern %q matches nothing", part)
+		}
+		for _, m := range matches {
+			add(dbBasePath(m))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-db %q names no databases", spec)
+	}
+	return out, nil
+}
+
+// dbBasePath folds one of a store's on-disk artifacts back to its WAL base
+// path: the advisory lock "base.lock", compaction temporaries
+// "base.N.compact" / "base.compact-commit", and segment files "base.N".
+// Exactly one numeric (segment) suffix is stripped — a base path that
+// itself ends in digits must not collapse further ("siren.0.2" is segment
+// 2 of base "siren.0", not of base "siren").
+func dbBasePath(p string) string {
+	if s, ok := strings.CutSuffix(p, ".lock"); ok {
+		return s
+	}
+	if s, ok := strings.CutSuffix(p, ".compact-commit"); ok {
+		return s
+	}
+	p = strings.TrimSuffix(p, ".compact")
+	if i := strings.LastIndexByte(p, '.'); i >= 0 && i < len(p)-1 && isDigits(p[i+1:]) {
+		return p[:i]
+	}
+	return p
+}
+
+func isDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // runAudit matches observed Python imports against the curated advisory DB.
@@ -119,9 +219,4 @@ func runClusters(data *analysis.Dataset, threshold int) {
 			report.Itoa(len(c.Members)), report.Itoa(c.Processes), strings.Join(c.Labels, " ")})
 	}
 	report.Table(os.Stdout, "", []string{"#", "dominant", "binaries", "procs", "labels"}, rows)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "siren-analyze:", err)
-	os.Exit(1)
 }

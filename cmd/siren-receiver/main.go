@@ -6,10 +6,28 @@
 //
 // Usage:
 //
-//	siren-receiver [-addr 0.0.0.0:8787] [-db siren.wal]
+//	siren-receiver [-addr 127.0.0.1:8787] [-db siren.wal]
+//	               [-partition k/N]
 //	               [-readers N] [-writers M] [-depth D] [-batch B]
 //	               [-db-shards S] [-sync-interval 100ms]
 //	               [-rcvbuf BYTES] [-stats-interval 10s]
+//
+// The listen address defaults to loopback — safe on a login node, where only
+// local collectors (or an SSH-forwarded port) can reach the socket. A real
+// deployment accepting datagrams from compute nodes binds a routable
+// interface explicitly, e.g. -addr 0.0.0.0:8787.
+//
+// Multi-receiver deployment: N processes share one campaign by running each
+// with its own database and a distinct partition slice,
+//
+//	siren-receiver -addr 0.0.0.0:8787 -db siren-0.wal -partition 0/3
+//	siren-receiver -addr 0.0.0.0:8788 -db siren-1.wal -partition 1/3
+//	siren-receiver -addr 0.0.0.0:8789 -db siren-2.wal -partition 2/3
+//
+// Each receiver admits only datagrams whose wire.PartitionHash(JOBID, HOST)
+// lands in its slice and counts the rest as rejected, so senders may spray
+// or broadcast across all N ports with no double-ingest. Analysis merges the
+// member databases back together: siren-analyze -db 'siren-0.wal,siren-1.wal,siren-2.wal'.
 package main
 
 import (
@@ -21,6 +39,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -29,8 +49,45 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8787", "UDP listen address")
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "siren-receiver:", err)
+		os.Exit(1)
+	}
+}
+
+// parsePartition parses a "k/N" partition spec ("" = unpartitioned).
+func parsePartition(spec string) (k, n int, err error) {
+	if spec == "" {
+		return 0, 0, nil
+	}
+	bad := func() (int, int, error) {
+		return 0, 0, fmt.Errorf("invalid -partition %q: want k/N with 0 <= k < N", spec)
+	}
+	ks, ns, ok := strings.Cut(spec, "/")
+	if !ok {
+		return bad()
+	}
+	if k, err = strconv.Atoi(ks); err != nil {
+		return bad()
+	}
+	if n, err = strconv.Atoi(ns); err != nil {
+		return bad()
+	}
+	if n < 1 || k < 0 || k >= n {
+		return bad()
+	}
+	return k, n, nil
+}
+
+// run owns the whole process lifecycle so every defer — the store's final
+// fsync-and-close, the receiver drain, the expvar listener — fires on the
+// error paths too. The old main called os.Exit from a fatal() helper, which
+// skipped deferred closes: a ListenUDP failure after a successful open
+// leaked the group-commit syncers and bypassed the final WAL fsync.
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8787", "UDP listen address (loopback by default; bind 0.0.0.0 to accept remote collectors)")
 	dbPath := flag.String("db", "siren.wal", "WAL file for the message store")
+	partSpec := flag.String("partition", "", "admit only partition k of N as \"k/N\" (e.g. 0/3); empty = admit everything")
 	readers := flag.Int("readers", 0, "UDP reader goroutines (0 = auto)")
 	writers := flag.Int("writers", 0, "writer shards, hash-partitioned by (JobID, Host) (0 = default)")
 	depth := flag.Int("depth", 0, "total buffered-channel capacity across shards (0 = default)")
@@ -43,6 +100,11 @@ func main() {
 	expvarAddr := flag.String("expvar-addr", "", "HTTP listen address exporting receiver+store stats as expvar under /debug/vars (\"\" disables)")
 	flag.Parse()
 
+	partition, partitions, err := parsePartition(*partSpec)
+	if err != nil {
+		return err
+	}
+
 	// Defaulting the store shards to the writer count keeps the writer→store
 	// mapping 1:1, so every batch lands in its store shard without
 	// re-partitioning (receiver.ShardedStore).
@@ -52,33 +114,42 @@ func main() {
 	}
 	db, err := sirendb.OpenOptions(*dbPath, sirendb.Options{Shards: shards, SyncInterval: *syncEvery})
 	if err != nil {
-		fatal(err)
+		return err
 	}
+	defer db.Close()
 	rcv := receiver.New(db, receiver.Options{
 		Depth:      *depth,
 		BatchMax:   *batch,
 		Readers:    *readers,
 		Writers:    *writers,
 		ReadBuffer: *rcvbuf,
+		Partition:  partition,
+		Partitions: partitions,
 	})
+	defer rcv.Close()
 	bound, err := rcv.ListenUDP(*addr)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("siren-receiver: listening on %s, storing to %s (%d shards, %d replayed rows, %d corrupt skipped)\n",
-		bound, *dbPath, db.StoreShards(), db.Count(), db.CorruptRecords())
+	slice := "all partitions"
+	if partitions > 1 {
+		slice = fmt.Sprintf("partition %d/%d", partition, partitions)
+	}
+	fmt.Printf("siren-receiver: listening on %s (%s), storing to %s (%d shards, %d replayed rows, %d corrupt skipped)\n",
+		bound, slice, *dbPath, db.StoreShards(), db.Count(), db.CorruptRecords())
 
 	// Telemetry: the same counters the periodic log line prints, plus the
 	// store's WAL/durability state, as machine-readable expvar JSON — the
-	// backpressure counters (Dropped, InsertErrors, InsertLost) are the
-	// ones an operator alerts on.
+	// backpressure counters (Dropped, Rejected, InsertErrors, InsertLost)
+	// are the ones an operator alerts on.
 	if *expvarAddr != "" {
 		expvar.Publish("siren_receiver", expvar.Func(func() any { return rcv.Stats().Snapshot() }))
 		expvar.Publish("siren_store", expvar.Func(func() any { return db.Stats() }))
 		ln, err := net.Listen("tcp", *expvarAddr)
 		if err != nil {
-			fatal(err)
+			return err
 		}
+		defer ln.Close()
 		fmt.Printf("siren-receiver: expvar on http://%s/debug/vars\n", ln.Addr())
 		go func() {
 			// expvar registers itself on http.DefaultServeMux.
@@ -86,10 +157,10 @@ func main() {
 				fmt.Fprintln(os.Stderr, "siren-receiver: expvar server:", err)
 			}
 		}()
-		defer ln.Close()
 	}
 
 	stop := make(chan struct{})
+	defer close(stop)
 	if *statsEvery > 0 {
 		go func() {
 			t := time.NewTicker(*statsEvery)
@@ -108,18 +179,10 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	close(stop)
 
 	if err := rcv.Close(); err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("siren-receiver: %s rows=%d\n", rcv.Stats(), db.Count())
-	if err := db.Close(); err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "siren-receiver:", err)
-	os.Exit(1)
+	return db.Close()
 }

@@ -16,6 +16,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"siren/internal/wire"
 )
 
 func runCmd(t *testing.T, dir string, name string, args ...string) string {
@@ -108,9 +110,11 @@ func TestCommandLineSurface(t *testing.T) {
 	}
 }
 
-// TestReceiverExpvar runs siren-receiver with -expvar-addr, feeds it real
-// datagrams over UDP, and checks the /debug/vars endpoint serves the
-// receiver and store counters (the backpressure-telemetry satellite).
+// TestReceiverExpvar runs siren-receiver with -expvar-addr and -partition,
+// feeds it real datagrams over UDP — half owned by its partition, half not
+// — and checks the /debug/vars endpoint serves the receiver and store
+// counters, including the rejected-datagram count (the backpressure- and
+// partition-telemetry satellites).
 func TestReceiverExpvar(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skipping CLI build")
@@ -122,10 +126,26 @@ func TestReceiverExpvar(t *testing.T) {
 	bin := filepath.Join(t.TempDir(), "siren-receiver")
 	runCmd(t, repo, "go", "build", "-o", bin, "./cmd/siren-receiver")
 
+	// The receiver runs as partition k/2 where k owns (JOBID=7, HOST=n1);
+	// datagrams for (JOBID=7, HOST=reject-me) are crafted to hash to the
+	// other partition so exactly those must surface as Rejected.
+	owned := wire.PartitionIndex([]byte("7"), []byte("n1"), 2)
+	rejectHost := ""
+	for _, h := range []string{"n2", "n3", "n4", "n5", "n6", "n7"} {
+		if wire.PartitionIndex([]byte("7"), []byte(h), 2) != owned {
+			rejectHost = h
+			break
+		}
+	}
+	if rejectHost == "" {
+		t.Fatal("no candidate host hashes to the foreign partition")
+	}
+
 	work := t.TempDir()
 	cmd := exec.Command(bin,
 		"-addr", "127.0.0.1:0",
 		"-db", filepath.Join(work, "siren.wal"),
+		"-partition", fmt.Sprintf("%d/2", owned),
 		"-expvar-addr", "127.0.0.1:0",
 		"-stats-interval", "0")
 	stdout, err := cmd.StdoutPipe()
@@ -166,7 +186,8 @@ func TestReceiverExpvar(t *testing.T) {
 		t.Fatalf("startup lines missing (udp=%q expvar=%q): %v", udpAddr, expvarURL, sc.Err())
 	}
 
-	// Feed a few real datagrams so the counters move.
+	// Feed real datagrams so the counters move: 5 owned by this partition,
+	// 3 owned by the (absent) sibling receiver.
 	conn, err := net.Dial("udp", udpAddr)
 	if err != nil {
 		t.Fatal(err)
@@ -179,6 +200,13 @@ func TestReceiverExpvar(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	for i := 0; i < 3; i++ {
+		datagram := fmt.Sprintf(
+			"SIREN1|JOBID=7|STEPID=0|PID=%d|HASH=abcd|HOST=%s|TIME=1733900000|LAYER=SELF|TYPE=METADATA|SEQ=0|TOT=1|CONTENT=EXE=/bin/x", i, rejectHost)
+		if _, err := conn.Write([]byte(datagram)); err != nil {
+			t.Fatal(err)
+		}
+	}
 
 	// Poll /debug/vars until the datagrams surface in the counters.
 	deadline := time.Now().Add(5 * time.Second)
@@ -187,6 +215,7 @@ func TestReceiverExpvar(t *testing.T) {
 			Receiver struct {
 				Received int64
 				Inserted int64
+				Rejected int64
 			} `json:"siren_receiver"`
 			Store struct {
 				Rows   int
@@ -198,14 +227,20 @@ func TestReceiverExpvar(t *testing.T) {
 			err = json.NewDecoder(resp.Body).Decode(&vars)
 			resp.Body.Close()
 		}
-		if err == nil && vars.Receiver.Received >= 5 && vars.Store.Rows >= 5 {
+		if err == nil && vars.Receiver.Received >= 8 && vars.Store.Rows >= 5 {
 			if vars.Store.Shards < 1 {
 				t.Errorf("store stats missing shard count: %+v", vars.Store)
+			}
+			if vars.Receiver.Rejected != 3 {
+				t.Errorf("expvar Rejected = %d, want 3", vars.Receiver.Rejected)
+			}
+			if vars.Store.Rows != 5 {
+				t.Errorf("store rows = %d, want only the 5 owned datagrams", vars.Store.Rows)
 			}
 			return
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("expvar counters never reached 5 datagrams: last err=%v vars=%+v", err, vars)
+			t.Fatalf("expvar counters never reached 8 datagrams: last err=%v vars=%+v", err, vars)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}

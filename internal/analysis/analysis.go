@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"siren/internal/postprocess"
-	"siren/internal/sirendb"
 	"siren/internal/toolchain"
 )
 
@@ -42,8 +41,11 @@ func NewDataset(records []*postprocess.ProcessRecord) *Dataset {
 // shard-parallel read path and wraps the records in a Dataset — the
 // analysis-side entry point for whole-campaign group-bys. The store is
 // never materialised as one []wire.Message; only the consolidated process
-// records (what the tables and figures actually consume) are held.
-func ConsolidateDataset(snap *sirendb.Snapshot) (*Dataset, postprocess.Stats) {
+// records (what the tables and figures actually consume) are held. The
+// snapshot may be a single store's (*sirendb.Snapshot) or the merged view
+// of an N-receiver deployment (*sirendb.MergedSnapshot) — the analysis is
+// identical either way.
+func ConsolidateDataset(snap postprocess.SnapshotView) (*Dataset, postprocess.Stats) {
 	records, stats := postprocess.ConsolidateSnapshot(snap, postprocess.StreamOptions{})
 	return NewDataset(records), stats
 }

@@ -1,4 +1,4 @@
-// Consolidation benchmarks (EXPERIMENTS.md §4):
+// Consolidation benchmarks (EXPERIMENTS.md §4/§5):
 //
 //	go test -bench=BenchmarkConsolidate -benchmem ./internal/postprocess
 //
@@ -16,6 +16,9 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"siren/internal/sirendb"
+	"siren/internal/wire"
 )
 
 func BenchmarkConsolidate(b *testing.B) {
@@ -51,6 +54,30 @@ func BenchmarkConsolidate(b *testing.B) {
 	})
 }
 
+// samplePeak spawns a 200 µs-period HeapAlloc sampler recording the
+// high-water mark into *peak until stop closes — the shared probe of the
+// peak-memory benchmarks.
+func samplePeak(stop chan struct{}, peak *uint64) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > *peak {
+				*peak = ms.HeapAlloc
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+		}
+	}()
+	return &wg
+}
+
 // BenchmarkConsolidatePeakMemory pins the acceptance criterion directly:
 // peak live heap during consolidation. The streaming consumer aggregates
 // per job without retaining records (the Execution-Fingerprint-Dictionary
@@ -68,27 +95,6 @@ func BenchmarkConsolidatePeakMemory(b *testing.B) {
 	// heap balloons to 2× live before a collection, burying the retained-set
 	// difference under transient garbage.
 	defer debug.SetGCPercent(debug.SetGCPercent(10))
-
-	samplePeak := func(stop chan struct{}, peak *uint64) *sync.WaitGroup {
-		var wg sync.WaitGroup
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var ms runtime.MemStats
-			for {
-				runtime.ReadMemStats(&ms)
-				if ms.HeapAlloc > *peak {
-					*peak = ms.HeapAlloc
-				}
-				select {
-				case <-stop:
-					return
-				case <-time.After(200 * time.Microsecond):
-				}
-			}
-		}()
-		return &wg
-	}
 
 	run := func(b *testing.B, pass func() int) {
 		var peak uint64
@@ -118,6 +124,139 @@ func BenchmarkConsolidatePeakMemory(b *testing.B) {
 	b.Run("load-everything-baseline", func(b *testing.B) {
 		run(b, func() int {
 			_, stats := ConsolidateMessages(db.All())
+			return stats.Jobs
+		})
+	})
+}
+
+// BenchmarkMergedConsolidate measures the multi-receiver merge step: the
+// same campaign consolidated from one store versus from M member stores
+// (the databases of M -partition k/M receivers) through a merged snapshot.
+// The merged path adds only the per-member snapshot captures and the
+// (member × shard)-wide cursor table — time and allocations should track
+// the single-store streaming path, not the member count times it.
+func BenchmarkMergedConsolidate(b *testing.B) {
+	single := synthWorld(b, 4, 64, 24)
+	defer single.Close()
+	want := 64 * 24
+
+	buildMembers := func(members, shards int) []*sirendb.DB {
+		dbs := make([]*sirendb.DB, members)
+		groups := make([][]wire.Message, members)
+		for _, m := range single.All() {
+			k := wire.PartitionIndex([]byte(m.JobID), []byte(m.Host), members)
+			groups[k] = append(groups[k], m)
+		}
+		for k := range dbs {
+			db, err := sirendb.OpenOptions("", sirendb.Options{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := db.InsertBatch(groups[k]); err != nil {
+				b.Fatal(err)
+			}
+			dbs[k] = db
+		}
+		return dbs
+	}
+
+	b.Run("single-store", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			recs, _ := ConsolidateSnapshot(single.Snapshot(), StreamOptions{})
+			if len(recs) != want {
+				b.Fatalf("records = %d, want %d", len(recs), want)
+			}
+		}
+	})
+	for _, members := range []int{2, 4} {
+		dbs := buildMembers(members, 2)
+		b.Run(fmt.Sprintf("merged-members=%d", members), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				snaps := make([]*sirendb.Snapshot, len(dbs))
+				for k, db := range dbs {
+					snaps[k] = db.Snapshot()
+				}
+				recs, _ := ConsolidateSnapshot(sirendb.MergeSnapshots(snaps), StreamOptions{})
+				if len(recs) != want {
+					b.Fatalf("records = %d, want %d", len(recs), want)
+				}
+			}
+		})
+		for _, db := range dbs {
+			db.Close()
+		}
+	}
+}
+
+// BenchmarkMergedConsolidatePeakMemory pins the merge step's memory bound:
+// consolidating M member stores through the merged snapshot must stay
+// O(shards × members) — cursors plus in-flight jobs — while merging by
+// materialising the union (the load-everything shape a naive multi-DB
+// analysis would use) pays for every message at once.
+func BenchmarkMergedConsolidatePeakMemory(b *testing.B) {
+	const members = 3
+	// 256 jobs × 32 processes ≈ 57k messages across 3 member stores.
+	seedDB := synthWorld(b, 4, 256, 32)
+	groups := make([][]wire.Message, members)
+	for _, m := range seedDB.All() {
+		k := wire.PartitionIndex([]byte(m.JobID), []byte(m.Host), members)
+		groups[k] = append(groups[k], m)
+	}
+	seedDB.Close()
+	dbs := make([]*sirendb.DB, members)
+	for k := range dbs {
+		db, err := sirendb.OpenOptions("", sirendb.Options{Shards: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.InsertBatch(groups[k]); err != nil {
+			b.Fatal(err)
+		}
+		dbs[k] = db
+		defer db.Close()
+	}
+	groups = nil
+
+	defer debug.SetGCPercent(debug.SetGCPercent(10))
+
+	run := func(b *testing.B, pass func() int) {
+		var peak uint64
+		for i := 0; i < b.N; i++ {
+			runtime.GC()
+			stop := make(chan struct{})
+			wg := samplePeak(stop, &peak)
+			if jobs := pass(); jobs != 256 {
+				b.Fatalf("consolidated %d jobs", jobs)
+			}
+			close(stop)
+			wg.Wait()
+		}
+		b.ReportMetric(float64(peak)/(1<<20), "peak-live-MB")
+	}
+
+	b.Run("merged-streaming-aggregate", func(b *testing.B) {
+		run(b, func() int {
+			snaps := make([]*sirendb.Snapshot, len(dbs))
+			for k, db := range dbs {
+				snaps[k] = db.Snapshot()
+			}
+			jobs := 0
+			ConsolidateStream(sirendb.MergeSnapshots(snaps), StreamOptions{}, func(j JobRecords) bool {
+				jobs++ // aggregate-and-drop: nothing retained per job
+				return true
+			})
+			return jobs
+		})
+	})
+	b.Run("merged-load-everything-baseline", func(b *testing.B) {
+		run(b, func() int {
+			var all []wire.Message
+			for _, db := range dbs {
+				all = append(all, db.All()...)
+			}
+			_, stats := ConsolidateMessages(all)
 			return stats.Jobs
 		})
 	})

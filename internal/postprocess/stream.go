@@ -34,6 +34,40 @@ import (
 	"siren/internal/wire"
 )
 
+// SnapshotView is the cursor surface the streaming consolidation reads — the
+// interface extracted from *sirendb.Snapshot so the same pipeline runs over
+// one receiver database or the merged view of N (*sirendb.MergedSnapshot,
+// the analysis tier of a partitioned multi-receiver deployment).
+//
+// The contract the consolidation depends on:
+//   - rows of one (job, host) live wholly inside one shard, in insertion
+//     order (the store partitions by wire.PartitionHash(JobID, Host));
+//   - ShardJobRows yields strictly increasing seq values within one shard's
+//     job stream, and seqs are globally comparable across shards;
+//   - JobShardCounts()[j] equals the number of shard indexes for which
+//     ShardJobRows(i, j, …) yields at least one row;
+//   - JobRows merges one job's rows across shards in ascending seq order.
+type SnapshotView interface {
+	// Shards reports the number of shard cursors.
+	Shards() int
+	// ShardJobs returns shard i's distinct job IDs in first-appearance order.
+	ShardJobs(i int) []string
+	// ShardJobRows streams shard i's rows of one job in insertion order with
+	// each row's sequence number; return false to stop.
+	ShardJobRows(i int, job string, f func(m wire.Message, seq uint64) bool)
+	// JobShardCounts maps every job ID to the number of shards holding rows
+	// of that job — the fan-in count a per-job reducer waits for.
+	JobShardCounts() map[string]int
+	// JobRows streams every row of one job in global insertion order.
+	JobRows(job string, f func(m wire.Message) bool)
+}
+
+// Both snapshot flavours satisfy the extracted cursor surface.
+var (
+	_ SnapshotView = (*sirendb.Snapshot)(nil)
+	_ SnapshotView = (*sirendb.MergedSnapshot)(nil)
+)
+
 // StreamOptions configure the streaming consolidation.
 type StreamOptions struct {
 	// Workers bounds the number of concurrent shard workers. 0 (or
@@ -73,7 +107,7 @@ type jobSegment struct {
 // reducer holds only record segments of multi-shard jobs still waiting for
 // a sibling shard. The returned Stats cover the jobs yielded; after an
 // early stop they are partial.
-func ConsolidateStream(snap *sirendb.Snapshot, opts StreamOptions, yield func(JobRecords) bool) Stats {
+func ConsolidateStream(snap SnapshotView, opts StreamOptions, yield func(JobRecords) bool) Stats {
 	workers := opts.Workers
 	if workers <= 0 || workers > snap.Shards() {
 		workers = snap.Shards()
@@ -217,7 +251,7 @@ func identityCollision(segs []jobSegment) bool {
 // shard-parallel path and returns every record sorted by (Time, JobID, PID,
 // ExeHash) — the same contract as Consolidate, with peak memory bounded by
 // the in-flight jobs plus the output instead of the whole store.
-func ConsolidateSnapshot(snap *sirendb.Snapshot, opts StreamOptions) ([]*ProcessRecord, Stats) {
+func ConsolidateSnapshot(snap SnapshotView, opts StreamOptions) ([]*ProcessRecord, Stats) {
 	var out []*ProcessRecord
 	stats := ConsolidateStream(snap, opts, func(j JobRecords) bool {
 		out = append(out, j.Records...)

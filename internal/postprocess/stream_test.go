@@ -247,3 +247,54 @@ func TestStreamingEndToEndPipeline(t *testing.T) {
 		t.Fatal("record identity multiset diverged")
 	}
 }
+
+// TestMergedSnapshotMatchesSingleStore pins the multi-receiver equivalence:
+// partitioning one campaign across N member stores by
+// wire.PartitionHash(JOBID, HOST) — exactly what N -partition k/N receivers
+// do — and consolidating the merged snapshot produces record-for-record the
+// same output and stats as consolidating the union from one store.
+func TestMergedSnapshotMatchesSingleStore(t *testing.T) {
+	single := synthWorld(t, 4, 11, 7)
+	defer single.Close()
+
+	const members = 3
+	dbs := make([]*sirendb.DB, members)
+	for k := range dbs {
+		db, err := sirendb.OpenOptions("", sirendb.Options{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dbs[k] = db
+		defer db.Close()
+	}
+	groups := make([][]wire.Message, members)
+	for _, m := range single.All() {
+		k := wire.PartitionIndex([]byte(m.JobID), []byte(m.Host), members)
+		groups[k] = append(groups[k], m)
+	}
+	snaps := make([]*sirendb.Snapshot, members)
+	for k, db := range dbs {
+		if len(groups[k]) == 0 {
+			t.Fatalf("partition %d/%d empty; grow the corpus", k, members)
+		}
+		if err := db.InsertBatch(groups[k]); err != nil {
+			t.Fatal(err)
+		}
+		snaps[k] = db.Snapshot()
+	}
+
+	want, wantStats := ConsolidateSnapshot(single.Snapshot(), StreamOptions{})
+	got, gotStats := ConsolidateSnapshot(sirendb.MergeSnapshots(snaps), StreamOptions{})
+
+	if gotStats != wantStats {
+		t.Errorf("stats diverged: merged %+v, single %+v", gotStats, wantStats)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("record count: merged %d, single %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("record %d diverged:\nmerged %+v\nsingle %+v", i, got[i], want[i])
+		}
+	}
+}

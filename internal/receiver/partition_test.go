@@ -1,0 +1,188 @@
+package receiver
+
+import (
+	"fmt"
+	"testing"
+
+	"siren/internal/sirendb"
+	"siren/internal/wire"
+)
+
+// jobMsg builds a message for one (job, host) pair — the partition unit.
+func jobMsg(job, host string, pid int) wire.Message {
+	return wire.Message{
+		Header: wire.Header{
+			JobID: job, StepID: "0", PID: pid, Hash: "beef", Host: host,
+			Time: 1733900000, Layer: wire.LayerSelf, Type: wire.TypeMetadata, Seq: 0, Total: 1,
+		},
+		Content: []byte("EXE=/bin/x"),
+	}
+}
+
+// TestPartitionAdmission broadcasts one mixed-job campaign to every member
+// of an N-receiver set and checks the partition contract: each receiver
+// admits exactly the (job, host) pairs hashing to its slice (k = 0 and
+// k = N-1 are both members, covering the edge partitions), counts the rest
+// as Rejected, and the union across members ingests every message exactly
+// once — zero double-ingest.
+func TestPartitionAdmission(t *testing.T) {
+	const parts = 3
+	var msgs []wire.Message
+	for j := 0; j < 24; j++ {
+		for h := 0; h < 2; h++ {
+			msgs = append(msgs, jobMsg(fmt.Sprintf("job-%d", j), fmt.Sprintf("nid%06d", h), 100+j))
+		}
+	}
+	owner := func(m wire.Message) int {
+		return wire.PartitionIndex([]byte(m.JobID), []byte(m.Host), parts)
+	}
+	wantOwned := make([]int, parts)
+	for _, m := range msgs {
+		wantOwned[owner(m)]++
+	}
+	for k := 0; k < parts; k++ {
+		if wantOwned[k] == 0 {
+			t.Fatalf("test corpus leaves partition %d/%d empty", k, parts)
+		}
+	}
+
+	dbs := make([]*sirendb.DB, parts)
+	total := 0
+	for k := 0; k < parts; k++ {
+		db, _ := sirendb.Open("")
+		dbs[k] = db
+		r := New(db, Options{Partition: k, Partitions: parts})
+		src := wire.NewChanTransport(1 << 12)
+		r.AttachChannel(src.C())
+		for _, m := range msgs {
+			if err := src.Send(wire.Encode(m)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		src.Close()
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		if got := db.Count(); got != wantOwned[k] {
+			t.Errorf("receiver %d/%d stored %d messages, want %d", k, parts, got, wantOwned[k])
+		}
+		st := r.Stats().Snapshot()
+		if st.Rejected != int64(len(msgs)-wantOwned[k]) {
+			t.Errorf("receiver %d/%d Rejected = %d, want %d", k, parts, st.Rejected, len(msgs)-wantOwned[k])
+		}
+		if st.Received != int64(len(msgs)) {
+			t.Errorf("receiver %d/%d Received = %d, want %d", k, parts, st.Received, len(msgs))
+		}
+		// Every stored row must actually hash to this partition.
+		for _, m := range db.All() {
+			if owner(m) != k {
+				t.Errorf("receiver %d/%d ingested foreign message job=%s host=%s", k, parts, m.JobID, m.Host)
+			}
+		}
+		total += db.Count()
+	}
+	if total != len(msgs) {
+		t.Errorf("union across partitions stored %d messages, want exactly %d (no loss, no double-ingest)", total, len(msgs))
+	}
+}
+
+// TestPartitionSingleAdmitsAll pins the default: Partitions <= 1 disables
+// admission entirely.
+func TestPartitionSingleAdmitsAll(t *testing.T) {
+	for _, parts := range []int{0, 1} {
+		db, _ := sirendb.Open("")
+		r := New(db, Options{Partitions: parts})
+		src := wire.NewChanTransport(64)
+		r.AttachChannel(src.C())
+		for i := 0; i < 8; i++ {
+			src.Send(wire.Encode(jobMsg(fmt.Sprintf("j%d", i), "nid000001", i)))
+		}
+		src.Close()
+		r.Close()
+		if db.Count() != 8 {
+			t.Errorf("Partitions=%d: stored %d, want all 8", parts, db.Count())
+		}
+		if rej := r.Stats().Rejected.Load(); rej != 0 {
+			t.Errorf("Partitions=%d: Rejected = %d, want 0", parts, rej)
+		}
+	}
+}
+
+// TestPartitionMalformedBypassesAdmission: datagrams whose header cannot be
+// scanned are admitted (and counted Malformed by the parse stage) on every
+// member, never Rejected — rejection is a statement that another receiver
+// owns the datagram, which is unknowable without a header.
+func TestPartitionMalformedBypassesAdmission(t *testing.T) {
+	db, _ := sirendb.Open("")
+	r := New(db, Options{Partition: 1, Partitions: 3})
+	src := wire.NewChanTransport(64)
+	r.AttachChannel(src.C())
+	src.Send([]byte("garbage"))
+	src.Send([]byte("SIREN1|also garbage"))
+	src.Close()
+	r.Close()
+	if got := r.Stats().Malformed.Load(); got != 2 {
+		t.Errorf("Malformed = %d, want 2", got)
+	}
+	if got := r.Stats().Rejected.Load(); got != 0 {
+		t.Errorf("Rejected = %d, want 0 for unscannable headers", got)
+	}
+}
+
+// TestPartitionAdmissionSpreadsAcrossShards pins the independence of the
+// admission rule (high hash bits, wire.PartitionIndex) from writer/store
+// shard routing (low hash bits): if both reduced the same bits, a
+// partition-k receiver's admitted traffic would be confined to the shards
+// whose index ≡ k (mod gcd(partitions, shards)) — here, with partitions ==
+// shards == 4, to exactly one shard, re-serialising the whole sharded
+// ingest path.
+func TestPartitionAdmissionSpreadsAcrossShards(t *testing.T) {
+	const parts, shards = 4, 4
+	db, err := sirendb.OpenOptions("", sirendb.Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(db, Options{Partition: 1, Partitions: parts, Writers: shards})
+	src := wire.NewChanTransport(1 << 12)
+	r.AttachChannel(src.C())
+	for j := 0; j < 400; j++ {
+		m := jobMsg(fmt.Sprintf("job-%d", j), "nid000001", j)
+		if err := src.Send(wire.Encode(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Close()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count() == 0 {
+		t.Fatal("partition 1/4 admitted nothing out of 400 jobs")
+	}
+	sn := db.Snapshot()
+	for i := 0; i < sn.Shards(); i++ {
+		if sn.ShardCursor(i).Len() == 0 {
+			t.Errorf("store shard %d received no rows: admitted traffic is not spreading across shards", i)
+		}
+	}
+}
+
+// TestPartitionConfigValidation: a partition index outside [0, N) must fail
+// loudly at construction, not silently double-ingest.
+func TestPartitionConfigValidation(t *testing.T) {
+	for _, bad := range []Options{
+		{Partition: 3, Partitions: 3},
+		{Partition: -1, Partitions: 3},
+		{Partition: 7, Partitions: 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New accepted invalid partition config %d/%d", bad.Partition, bad.Partitions)
+				}
+			}()
+			db, _ := sirendb.Open("")
+			New(db, bad)
+		}()
+	}
+}

@@ -23,11 +23,21 @@
 // dispatch point, exactly as the network may; chunk reassembly and
 // consolidation key on SEQ/TIME and never depended on arrival order.)
 //
+// The same hash's high bits (wire.PartitionIndex — kept independent of the
+// low-bits shard modulo so admitted traffic still spreads over all shards)
+// also partition whole campaigns across receiver *processes*
+// (Options.Partition/Partitions): receiver k of N admits only datagrams whose
+// partition index is k and counts the rest as Rejected, so N receivers on N
+// ports share one campaign with no double-ingest even when senders broadcast
+// to all of them. Analysis merges the N databases back together
+// (sirendb.OpenSet).
+//
 // A slow disk never backs up into the socket: when a shard channel is full,
 // datagrams are dropped exactly as the kernel would drop them — SIREN's
 // loss-tolerant design makes that safe. Every loss and failure mode is
-// counted in Stats (kernel-style channel drops, malformed datagrams, failed
-// database inserts) instead of disappearing silently.
+// counted in Stats (kernel-style channel drops, malformed datagrams,
+// rejected partitions, failed database inserts) instead of disappearing
+// silently.
 package receiver
 
 import (
@@ -49,6 +59,7 @@ type Stats struct {
 	Inserted     atomic.Int64 // messages stored in the database
 	Malformed    atomic.Int64 // datagrams that failed to parse (dropped)
 	Dropped      atomic.Int64 // datagrams dropped due to a full shard channel
+	Rejected     atomic.Int64 // datagrams outside this receiver's partition (dropped by admission)
 	InsertErrors atomic.Int64 // failed InsertBatch calls
 	InsertLost   atomic.Int64 // messages in failed InsertBatch calls (upper bound: a partially-applied batch counts whole)
 }
@@ -61,6 +72,7 @@ type StatsSnapshot struct {
 	Inserted     int64
 	Malformed    int64
 	Dropped      int64
+	Rejected     int64
 	InsertErrors int64
 	InsertLost   int64
 }
@@ -74,6 +86,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Inserted:     s.Inserted.Load(),
 		Malformed:    s.Malformed.Load(),
 		Dropped:      s.Dropped.Load(),
+		Rejected:     s.Rejected.Load(),
 		InsertErrors: s.InsertErrors.Load(),
 		InsertLost:   s.InsertLost.Load(),
 	}
@@ -83,8 +96,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 // periodically.
 func (s *Stats) String() string {
 	v := s.Snapshot()
-	return fmt.Sprintf("received=%d inserted=%d malformed=%d dropped=%d insert_errors=%d insert_lost=%d",
-		v.Received, v.Inserted, v.Malformed, v.Dropped, v.InsertErrors, v.InsertLost)
+	return fmt.Sprintf("received=%d inserted=%d malformed=%d dropped=%d rejected=%d insert_errors=%d insert_lost=%d",
+		v.Received, v.Inserted, v.Malformed, v.Dropped, v.Rejected, v.InsertErrors, v.InsertLost)
 }
 
 // Store is the destination a receiver drains into. *sirendb.DB implements
@@ -123,13 +136,15 @@ var bufPool = sync.Pool{New: func() any {
 
 // Receiver drains a datagram source into a Store.
 type Receiver struct {
-	db       Store
-	direct   ShardedStore // non-nil when writer shards map 1:1 onto store shards
-	shards   []chan pkt
-	stats    *Stats
-	batchMax int
-	readBuf  int
-	readers  int
+	db         Store
+	direct     ShardedStore // non-nil when writer shards map 1:1 onto store shards
+	shards     []chan pkt
+	stats      *Stats
+	batchMax   int
+	readBuf    int
+	readers    int
+	partition  int // this receiver's slice of the campaign partition space
+	partitions int // size of the partition space (<= 1: accept everything)
 
 	readerWG  sync.WaitGroup
 	writerWG  sync.WaitGroup
@@ -166,6 +181,18 @@ type Options struct {
 	// bytes (default 4 MiB; the kernel caps it at net.core.rmem_max). A
 	// large socket buffer absorbs sender bursts while writers flush.
 	ReadBuffer int
+	// Partition/Partitions select this receiver's slice of a horizontally
+	// partitioned deployment: with Partitions = N > 1, only datagrams whose
+	// wire.PartitionIndex(JOBID, HOST, N) equals k (0 <= k < N) are
+	// admitted; the rest are counted in Stats.Rejected and discarded before
+	// parsing. N receiver processes with partitions 0/N … N-1/N therefore
+	// share one campaign with no double-ingest even when every sender
+	// broadcasts to all of them. Partitions <= 1 (the default) admits
+	// everything — the paper's single-receiver deployment. Datagrams whose
+	// header cannot be scanned bypass admission and are counted Malformed by
+	// the parse stage, identically on every receiver.
+	Partition  int
+	Partitions int
 }
 
 func (o *Options) defaults() {
@@ -192,16 +219,24 @@ func (o *Options) defaults() {
 	}
 }
 
-// New creates a receiver writing to db.
+// New creates a receiver writing to db. New panics when Options.Partition
+// is outside [0, Partitions): a receiver silently admitting everything (or
+// nothing) under a mistyped partition config would double-ingest or drop a
+// whole campaign slice, so misconfiguration fails loudly at startup.
 func New(db Store, opts Options) *Receiver {
 	opts.defaults()
+	if opts.Partitions > 1 && (opts.Partition < 0 || opts.Partition >= opts.Partitions) {
+		panic(fmt.Sprintf("receiver: partition %d out of range [0,%d)", opts.Partition, opts.Partitions))
+	}
 	r := &Receiver{
-		db:       db,
-		stats:    &Stats{},
-		batchMax: opts.BatchMax,
-		readBuf:  opts.ReadBuffer,
-		readers:  opts.Readers,
-		shards:   make([]chan pkt, opts.Writers),
+		db:         db,
+		stats:      &Stats{},
+		batchMax:   opts.BatchMax,
+		readBuf:    opts.ReadBuffer,
+		readers:    opts.Readers,
+		partition:  opts.Partition,
+		partitions: opts.Partitions,
+		shards:     make([]chan pkt, opts.Writers),
 	}
 	if r.readBuf <= 0 {
 		r.readBuf = 4 << 20
@@ -308,25 +343,34 @@ func (r *Receiver) ingest(d []byte, block bool) {
 	r.dispatch(pkt{data: data, buf: bp}, block)
 }
 
-// shardIndex partitions a datagram by hash(JobID, Host). Datagrams whose
-// header cannot be scanned all land on shard 0, where Parse counts them as
-// malformed.
-func (r *Receiver) shardIndex(d []byte) int {
-	if len(r.shards) == 1 {
-		return 0
-	}
-	job, host, ok := wire.PartitionFields(d)
-	if !ok {
-		return 0
-	}
-	return int(wire.PartitionHash(job, host) % uint64(len(r.shards)))
-}
-
-// dispatch routes a datagram to its shard. Blocking mode (channel transport)
-// applies backpressure; non-blocking mode (UDP) drops-and-counts like the
-// kernel would.
+// dispatch applies partition admission and routes a datagram to its writer
+// shard — both decisions come from one wire.PartitionFields scan of the
+// header, but from different bits of the hash (wire.PartitionIndex vs the
+// low-bits shard modulo), so a receiver's admitted slice still spreads over
+// all its writer and store shards. A datagram outside this receiver's
+// partition is counted Rejected and discarded (another receiver of the set
+// owns it); one whose header cannot be scanned bypasses admission and lands
+// on shard 0, where Parse counts it as malformed — every receiver of a
+// partitioned set agrees on that, so a malformed datagram is never
+// double-ingested either. Unpartitioned single-shard receivers skip the
+// header scan entirely (its result would be unused). Blocking mode (channel
+// transport) applies backpressure; non-blocking mode (UDP)
+// drops-and-counts like the kernel would.
 func (r *Receiver) dispatch(p pkt, block bool) {
-	sh := r.shards[r.shardIndex(p.data)]
+	idx := 0
+	if r.partitions > 1 || len(r.shards) > 1 {
+		if job, host, ok := wire.PartitionFields(p.data); ok {
+			if r.partitions > 1 && wire.PartitionIndex(job, host, r.partitions) != r.partition {
+				r.stats.Rejected.Add(1)
+				release(p)
+				return
+			}
+			if len(r.shards) > 1 {
+				idx = int(wire.PartitionHash(job, host) % uint64(len(r.shards)))
+			}
+		}
+	}
+	sh := r.shards[idx]
 	if block {
 		sh <- p
 		return

@@ -168,6 +168,18 @@ func PartitionHash(job, host []byte) uint64 {
 	return xxhash.Sum64Seed(host, xxhash.Sum64(job))
 }
 
+// PartitionIndex maps a (JOBID, HOST) pair to one of n receiver partitions —
+// the admission rule of a multi-receiver deployment. It reduces the *high*
+// 32 bits of PartitionHash, while writer/store shard routing reduces the
+// full hash (in practice its low bits) modulo the shard count: taking both
+// from the same low bits would leave a partition-k receiver with only hash
+// residues ≡ k, concentrating its admitted traffic on gcd(n, shards)-th of
+// the writer and store shards. High and low xxhash bits are independent, so
+// every receiver's slice still spreads across all its shards.
+func PartitionIndex(job, host []byte, n int) int {
+	return int((PartitionHash(job, host) >> 32) % uint64(n))
+}
+
 // Parse decodes a datagram produced by Encode.
 //
 // This is the receiver's per-message hot path, so copying is kept minimal:
@@ -279,10 +291,15 @@ func Chunk(h Header, content []byte, maxSize int) []Message {
 
 // Record is a reassembled logical record.
 type Record struct {
-	Header  Header // Seq/Total of the first chunk seen; Total meaningful
+	// Header is the first chunk seen, except Total, which is the largest
+	// Total announced by any chunk of the group — the chunk count the record
+	// was reassembled against.
+	Header  Header
 	Content []byte
-	// Complete is false when chunks were lost in transit; Content then holds
-	// the concatenation of the chunks that did arrive, in order.
+	// Complete is false when chunks were lost in transit or when chunks of
+	// the group disagreed on Total (a re-sent record with different content
+	// length interleaving with the original); Content then holds the
+	// concatenation of the chunks that did arrive, in order.
 	Complete bool
 }
 
@@ -290,11 +307,19 @@ type Record struct {
 // with missing chunks are returned with Complete=false — SIREN keeps partial
 // data rather than discarding it (the fuzzy hashes of list categories remain
 // comparable even with gaps, which is why the lists are hashed as well).
+//
+// Chunks arrive in any order, so the group's chunk count is the maximum
+// Total announced across its chunks — not the first-seen header's. Sizing
+// the loop from the first chunk silently dropped any chunk with
+// Seq >= firstTotal (a reordered re-send with a larger Total) and could mark
+// the record Complete with data missing. Groups whose chunks disagree on
+// Total mix two versions of the record and are never Complete.
 func Reassemble(msgs []Message) []Record {
 	type group struct {
-		header Header
-		chunks map[int][]byte
-		order  int // first-seen order for deterministic output
+		header   Header
+		maxTotal int  // largest Total announced by any chunk
+		mismatch bool // chunks disagreed on Total: two record versions mixed
+		chunks   map[int][]byte
 	}
 	groups := make(map[string]*group)
 	var keys []string
@@ -302,18 +327,25 @@ func Reassemble(msgs []Message) []Record {
 		k := m.Key()
 		g, ok := groups[k]
 		if !ok {
-			g = &group{header: m.Header, chunks: make(map[int][]byte)}
+			g = &group{header: m.Header, maxTotal: m.Total, chunks: make(map[int][]byte)}
 			groups[k] = g
 			keys = append(keys, k)
+		}
+		if m.Total != g.maxTotal {
+			g.mismatch = true
+			if m.Total > g.maxTotal {
+				g.maxTotal = m.Total
+			}
 		}
 		g.chunks[m.Seq] = m.Content
 	}
 	out := make([]Record, 0, len(keys))
 	for _, k := range keys {
 		g := groups[k]
+		g.header.Total = g.maxTotal
 		var content []byte
-		complete := true
-		for i := 0; i < g.header.Total; i++ {
+		complete := !g.mismatch
+		for i := 0; i < g.maxTotal; i++ {
 			chunk, ok := g.chunks[i]
 			if !ok {
 				complete = false

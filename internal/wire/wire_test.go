@@ -178,6 +178,87 @@ func TestReassembleWithLoss(t *testing.T) {
 	}
 }
 
+func TestReassembleReorderedResendWithLargerTotal(t *testing.T) {
+	// A record is sent as 2 chunks, then re-sent (content grew) as 3 chunks,
+	// and UDP delivers the re-send's chunks interleaved with the originals so
+	// the first chunk seen announces Total=2. Sizing the chunk loop from that
+	// first-seen Total silently dropped chunk 2 and marked the record
+	// Complete with a third of its data missing.
+	h := sampleHeader()
+	short := Chunk(h, []byte(strings.Repeat("a", 1000)), 600)
+	long := Chunk(h, []byte(strings.Repeat("ab", 2000)), 600)
+	if len(short) < 2 || len(long) <= len(short) {
+		t.Fatalf("chunk counts %d/%d, want >= 2 and growing", len(short), len(long))
+	}
+	// Interleave so a short-version chunk (small Total) is seen first.
+	msgs := []Message{short[0]}
+	msgs = append(msgs, long...)
+	msgs = append(msgs, short[1:]...)
+	recs := Reassemble(msgs)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	if recs[0].Complete {
+		t.Error("mixed-Total group must never be Complete")
+	}
+	if recs[0].Header.Total != len(long) {
+		t.Errorf("record Total = %d, want max announced %d", recs[0].Header.Total, len(long))
+	}
+	// Chunks with Seq >= the first-seen Total must survive into Content:
+	// the last chunk of the long version is only present if the loop ran to
+	// max(Total).
+	if !bytes.Contains(recs[0].Content, long[len(long)-1].Content) {
+		t.Error("chunk with Seq >= first-seen Total was dropped")
+	}
+}
+
+func TestReassembleFirstChunkCarriesSmallerTotal(t *testing.T) {
+	// Same scenario, delivery order flipped: the larger-Total version is seen
+	// first, a stale smaller-Total chunk arrives later. All chunks of the
+	// current version are present, but the group still mixes two record
+	// versions (the stale chunk overwrote Seq 0), so it must not be Complete.
+	h := sampleHeader()
+	short := Chunk(h, []byte(strings.Repeat("z", 1000)), 600)
+	long := Chunk(h, []byte(strings.Repeat("yz", 2000)), 600)
+	msgs := append(append([]Message{}, long...), short[0])
+	recs := Reassemble(msgs)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	if recs[0].Complete {
+		t.Error("mixed-Total group must never be Complete")
+	}
+	if recs[0].Header.Total != len(long) {
+		t.Errorf("record Total = %d, want %d", recs[0].Header.Total, len(long))
+	}
+}
+
+func TestReassembleFirstChunkLostReordered(t *testing.T) {
+	// First chunk lost and the rest delivered in reverse: the record must be
+	// incomplete, with the surviving chunks concatenated in Seq order.
+	h := sampleHeader()
+	content := []byte(strings.Repeat("0123456789", 500))
+	msgs := Chunk(h, content, 600)
+	rest := append([]Message{}, msgs[1:]...)
+	for i, j := 0, len(rest)-1; i < j; i, j = i+1, j-1 {
+		rest[i], rest[j] = rest[j], rest[i]
+	}
+	recs := Reassemble(rest)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	if recs[0].Complete {
+		t.Error("record with a lost first chunk must be incomplete")
+	}
+	var want []byte
+	for _, m := range msgs[1:] {
+		want = append(want, m.Content...)
+	}
+	if !bytes.Equal(recs[0].Content, want) {
+		t.Error("surviving chunks not concatenated in Seq order")
+	}
+}
+
 func TestReassembleSeparatesTypesAndProcesses(t *testing.T) {
 	h1 := sampleHeader()
 	h2 := sampleHeader()
