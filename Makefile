@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet fmt fmt-check lint bench bench-smoke bench-store bench-read test-replay test-cluster ci
+.PHONY: build test test-race vet fmt fmt-check lint bench bench-smoke bench-store bench-read bench-serve test-replay test-cluster test-serve ci
 
 build:
 	$(GO) build ./...
@@ -69,5 +69,22 @@ test-replay:
 test-cluster:
 	$(GO) test -race -count=1 -run 'MultiReceiver|Partition|Merged|OpenSet' \
 		. ./internal/receiver ./internal/sirendb ./internal/postprocess ./internal/wire
+
+# Serving-tier suite under the race detector: watermark deltas, incremental
+# catalog refresh vs full-rebuild equivalence, the generation-swap contract
+# under concurrent queries, every query endpoint, and the live
+# concurrent-ingest+query end-to-end runs (in-process and as a real
+# siren-receiver -serve-addr / siren-serve process).
+test-serve:
+	$(GO) test -race -count=1 \
+		-run 'JobsChangedSince|Incremental|CatalogOverMerged|ConcurrentQueries|Identify|ReadEndpoints|GracefulShutdown|ServeCommand|ReceiverServe' \
+		. ./internal/catalog ./internal/server ./internal/sirendb
+
+# Serving-tier benchmarks (EXPERIMENTS.md §6): identify throughput through
+# the full handler stack, and incremental-vs-full catalog refresh across
+# store sizes — the flat incremental line is the claim.
+bench-serve:
+	$(GO) test -run=NONE -bench='BenchmarkIdentify|BenchmarkCatalogRefresh' \
+		-benchmem -benchtime=$(BENCHTIME) ./internal/catalog ./internal/server
 
 ci: build vet fmt-check test-race bench-smoke

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	siren-analyze -db siren.wal [-csv table5]
+//	siren-analyze -db siren.wal [-csv table5] [-json] [-workers N]
 //	siren-analyze -db 'siren-0.wal,siren-1.wal,siren-2.wal'   # multi-receiver
 //	siren-analyze -db 'campaign/siren-*.wal*'                 # glob over members
 //
@@ -16,16 +16,23 @@
 // N-receiver partitioned deployment — are analysed through one merged
 // snapshot, producing exactly the report a single receiver ingesting the
 // whole campaign would.
+//
+// -json emits the full report as machine-readable JSON in exactly the shape
+// the serving tier's /api/v1/report endpoint returns (report.JSONReport —
+// one source of truth). -workers bounds the streaming-consolidation workers
+// (0 = one per store shard), the knob behind the multi-core read-curve
+// measurements.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
 
 	"siren/internal/analysis"
+	"siren/internal/postprocess"
 	"siren/internal/pysec"
 	"siren/internal/report"
 	"siren/internal/sirendb"
@@ -45,11 +52,13 @@ func main() {
 func run() error {
 	dbSpec := flag.String("db", "siren.wal", "WAL file(s) to analyse: comma-separated base paths, each optionally a glob")
 	csvTable := flag.String("csv", "", "emit one table as CSV instead of the full report (table2|table3|table5|table8)")
+	jsonOut := flag.Bool("json", false, "emit the full report as JSON (the /api/v1/report shape)")
+	workers := flag.Int("workers", 0, "streaming-consolidation workers (0 = one per store shard)")
 	audit := flag.Bool("audit", false, "cross-reference Python imports against the insecure-package database (paper §6 future work)")
 	clusters := flag.Int("clusters", 0, "report similarity clusters of user executables at this threshold (0 = off)")
 	flag.Parse()
 
-	paths, err := resolveDBPaths(*dbSpec)
+	paths, err := sirendb.ResolveSetPaths(*dbSpec)
 	if err != nil {
 		return err
 	}
@@ -62,7 +71,7 @@ func run() error {
 	// cursor: member databases (one per receiver partition) and their WAL
 	// shards are grouped per job without ever materialising the whole
 	// message set. A single -db path is the one-member degenerate case.
-	data, stats := analysis.ConsolidateDataset(set.Snapshot())
+	data, stats := analysis.ConsolidateDataset(set.Snapshot(), postprocess.StreamOptions{Workers: *workers})
 
 	if *audit {
 		runAudit(data)
@@ -71,6 +80,11 @@ func run() error {
 	if *clusters > 0 {
 		runClusters(data, *clusters)
 		return nil
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report.BuildJSON(data, stats))
 	}
 	if *csvTable == "" {
 		report.WriteEvaluation(os.Stdout, data, stats)
@@ -109,79 +123,6 @@ func run() error {
 		return fmt.Errorf("unknown table %q", *csvTable)
 	}
 	return nil
-}
-
-// resolveDBPaths expands a -db spec into member WAL base paths: split on
-// commas; an element without glob metacharacters is a literal base path,
-// used verbatim (a fresh WAL path opens an empty store, exactly as before,
-// and a base path that happens to end in digits is never mangled); an
-// element with metacharacters is expanded, its matches — the stores'
-// on-disk artifacts — folded back to base paths, and the result
-// deduplicated preserving order. A pattern matching nothing is an error:
-// silently analysing a freshly created empty store instead of the intended
-// members would report a zero-row campaign as success.
-func resolveDBPaths(spec string) ([]string, error) {
-	var out []string
-	seen := make(map[string]bool)
-	add := func(base string) {
-		if !seen[base] {
-			seen[base] = true
-			out = append(out, base)
-		}
-	}
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		if !strings.ContainsAny(part, "*?[") {
-			add(part)
-			continue
-		}
-		matches, err := filepath.Glob(part)
-		if err != nil {
-			return nil, fmt.Errorf("bad -db pattern %q: %w", part, err)
-		}
-		if len(matches) == 0 {
-			return nil, fmt.Errorf("-db pattern %q matches nothing", part)
-		}
-		for _, m := range matches {
-			add(dbBasePath(m))
-		}
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("-db %q names no databases", spec)
-	}
-	return out, nil
-}
-
-// dbBasePath folds one of a store's on-disk artifacts back to its WAL base
-// path: the advisory lock "base.lock", compaction temporaries
-// "base.N.compact" / "base.compact-commit", and segment files "base.N".
-// Exactly one numeric (segment) suffix is stripped — a base path that
-// itself ends in digits must not collapse further ("siren.0.2" is segment
-// 2 of base "siren.0", not of base "siren").
-func dbBasePath(p string) string {
-	if s, ok := strings.CutSuffix(p, ".lock"); ok {
-		return s
-	}
-	if s, ok := strings.CutSuffix(p, ".compact-commit"); ok {
-		return s
-	}
-	p = strings.TrimSuffix(p, ".compact")
-	if i := strings.LastIndexByte(p, '.'); i >= 0 && i < len(p)-1 && isDigits(p[i+1:]) {
-		return p[:i]
-	}
-	return p
-}
-
-func isDigits(s string) bool {
-	for i := 0; i < len(s); i++ {
-		if s[i] < '0' || s[i] > '9' {
-			return false
-		}
-	}
-	return true
 }
 
 // runAudit matches observed Python imports against the curated advisory DB.

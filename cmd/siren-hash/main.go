@@ -25,15 +25,10 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 
-	backend := ssdeep.BackendWeighted
-	switch *backendName {
-	case "weighted":
-	case "damerau":
-		backend = ssdeep.BackendDamerau
-	case "levenshtein":
-		backend = ssdeep.BackendLevenshtein
-	default:
-		fatal(fmt.Errorf("unknown backend %q", *backendName))
+	// Shared grammar with the serving tier's identify API.
+	backend, err := ssdeep.ParseBackend(*backendName)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *compare {

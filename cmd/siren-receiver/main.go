@@ -11,6 +11,15 @@
 //	               [-readers N] [-writers M] [-depth D] [-batch B]
 //	               [-db-shards S] [-sync-interval 100ms]
 //	               [-rcvbuf BYTES] [-stats-interval 10s]
+//	               [-serve-addr HOST:PORT] [-refresh-interval 5s]
+//
+// -serve-addr starts the online recognition service over the live store:
+// the HTTP JSON query API of internal/server (POST /api/v1/identify,
+// GET /api/v1/jobs, /api/v1/clusters, /api/v1/report, /api/v1/stats,
+// /healthz), backed by a fingerprint catalog refreshed incrementally every
+// -refresh-interval while ingest keeps running. Queries answer from the
+// last published catalog generation — at most one refresh interval behind
+// the ingest stream, never blocking it.
 //
 // The listen address defaults to loopback — safe on a login node, where only
 // local collectors (or an SSH-forwarded port) can reach the socket. A real
@@ -31,10 +40,12 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -44,7 +55,9 @@ import (
 	"syscall"
 	"time"
 
+	"siren/internal/catalog"
 	"siren/internal/receiver"
+	"siren/internal/server"
 	"siren/internal/sirendb"
 )
 
@@ -98,6 +111,8 @@ func run() error {
 		"group-commit fsync latency bound (negative = fsync every batch)")
 	statsEvery := flag.Duration("stats-interval", 10*time.Second, "period of the stats log line (0 disables)")
 	expvarAddr := flag.String("expvar-addr", "", "HTTP listen address exporting receiver+store stats as expvar under /debug/vars (\"\" disables)")
+	serveAddr := flag.String("serve-addr", "", "HTTP listen address of the online recognition API over the live store (\"\" disables)")
+	refreshEvery := flag.Duration("refresh-interval", 5*time.Second, "period of incremental catalog refresh behind -serve-addr (<= 0 disables: the served catalog then never sees ingested rows)")
 	flag.Parse()
 
 	partition, partitions, err := parsePartition(*partSpec)
@@ -141,22 +156,86 @@ func run() error {
 	// Telemetry: the same counters the periodic log line prints, plus the
 	// store's WAL/durability state, as machine-readable expvar JSON — the
 	// backpressure counters (Dropped, Rejected, InsertErrors, InsertLost)
-	// are the ones an operator alerts on.
+	// are the ones an operator alerts on. The vars live in a local map
+	// served by a dedicated mux + http.Server: nothing touches the global
+	// expvar registry or http.DefaultServeMux (whose Publish/Handle calls
+	// panic on re-registration — two receivers embedded in one test process
+	// used to collide), and Shutdown on exit drains the listener cleanly
+	// instead of abandoning in-flight scrapes.
 	if *expvarAddr != "" {
-		expvar.Publish("siren_receiver", expvar.Func(func() any { return rcv.Stats().Snapshot() }))
-		expvar.Publish("siren_store", expvar.Func(func() any { return db.Stats() }))
+		vars := new(expvar.Map).Init()
+		vars.Set("siren_receiver", expvar.Func(func() any { return rcv.Stats().Snapshot() }))
+		vars.Set("siren_store", expvar.Func(func() any { return db.Stats() }))
+		// Mirror the two vars the expvar package itself publishes, so
+		// scrapes of the old DefaultServeMux endpoint (heap/GC dashboards
+		// read memstats) keep working against the dedicated mux.
+		for _, name := range []string{"cmdline", "memstats"} {
+			if v := expvar.Get(name); v != nil {
+				vars.Set(name, v)
+			}
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			io.WriteString(w, vars.String())
+		})
+		hs := &http.Server{Handler: mux}
 		ln, err := net.Listen("tcp", *expvarAddr)
 		if err != nil {
 			return err
 		}
-		defer ln.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			hs.Shutdown(ctx)
+		}()
 		fmt.Printf("siren-receiver: expvar on http://%s/debug/vars\n", ln.Addr())
 		go func() {
-			// expvar registers itself on http.DefaultServeMux.
-			if err := http.Serve(ln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+			if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "siren-receiver: expvar server:", err)
 			}
 		}()
+	}
+
+	// Online recognition over the live store: an incrementally refreshed
+	// fingerprint catalog behind the HTTP query API. Refreshes cost
+	// O(changed jobs) against the snapshot watermark; queries read the last
+	// published generation and never block ingest.
+	if *serveAddr != "" {
+		cat := catalog.New(catalog.StoreSource(db), catalog.Options{})
+		cat.Refresh()
+		srv := server.New(cat)
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		fmt.Printf("siren-receiver: serving recognition API on http://%s\n", ln.Addr())
+		go func() {
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "siren-receiver: recognition server:", err)
+			}
+		}()
+		if *refreshEvery > 0 {
+			refreshStop := make(chan struct{})
+			defer close(refreshStop)
+			go func() {
+				t := time.NewTicker(*refreshEvery)
+				defer t.Stop()
+				for {
+					select {
+					case <-t.C:
+						cat.Refresh()
+					case <-refreshStop:
+						return
+					}
+				}
+			}()
+		}
 	}
 
 	stop := make(chan struct{})

@@ -1,0 +1,121 @@
+// Command siren-serve is the standalone recognition service: it opens the
+// database(s) of a finished campaign, builds the fingerprint catalog, and
+// answers identification queries over the HTTP JSON API — the online form
+// of the recognition the paper runs as a batch similarity search.
+//
+// Usage:
+//
+//	siren-serve -db siren.wal [-addr 127.0.0.1:8899]
+//	siren-serve -db 'siren-0.wal,siren-1.wal,siren-2.wal'   # multi-receiver
+//	siren-serve -db 'campaign/siren-*.wal*'                 # glob over members
+//
+// -db takes the same grammar as siren-analyze: a comma-separated list of WAL
+// base paths, each element optionally a glob over the stores' on-disk
+// artifacts. The members of an N-receiver partitioned deployment,
+//
+//	siren-receiver -addr 0.0.0.0:8787 -db siren-0.wal -partition 0/3
+//	siren-receiver -addr 0.0.0.0:8788 -db siren-1.wal -partition 1/3
+//	siren-receiver -addr 0.0.0.0:8789 -db siren-2.wal -partition 2/3
+//
+// are served as one merged catalog: siren-serve -db 'siren-*.wal*' answers
+// exactly what a single receiver ingesting the whole campaign would. Every
+// member's advisory lock is held for the lifetime of the server, so the
+// receivers must have exited first; to query a store that is still
+// ingesting, use siren-receiver -serve-addr instead.
+//
+// API: POST /api/v1/identify, GET /api/v1/jobs, /api/v1/clusters?threshold=,
+// /api/v1/report, /api/v1/stats, /healthz (see internal/server).
+//
+// -refresh-interval re-captures the catalog periodically; it defaults to 0
+// (off) because an exclusively locked set cannot change. It exists for
+// future sources that can.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"siren/internal/catalog"
+	"siren/internal/server"
+	"siren/internal/sirendb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "siren-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run owns the process lifecycle so the deferred closes — the member locks,
+// the listener drain — fire on error paths too.
+func run() error {
+	dbSpec := flag.String("db", "siren.wal", "WAL file(s) to serve: comma-separated base paths, each optionally a glob")
+	addr := flag.String("addr", "127.0.0.1:8899", "HTTP listen address of the query API")
+	refreshEvery := flag.Duration("refresh-interval", 0, "period of catalog re-capture (0 = off; a locked set cannot change)")
+	workers := flag.Int("workers", 0, "streaming-consolidation workers per refresh (0 = one per store shard)")
+	flag.Parse()
+
+	paths, err := sirendb.ResolveSetPaths(*dbSpec)
+	if err != nil {
+		return err
+	}
+	set, err := sirendb.OpenSet(paths, sirendb.Options{})
+	if err != nil {
+		return err
+	}
+	defer set.Close()
+
+	cat := catalog.New(catalog.SetSource(set), catalog.Options{Workers: *workers})
+	rs := cat.Refresh()
+	fmt.Printf("siren-serve: catalog generation %d: %d jobs, %d processes, %d fingerprints (built in %s from %d members)\n",
+		rs.Gen, rs.Jobs, cat.Generation().Stats.Processes, cat.Generation().Index.Len(), rs.Elapsed.Round(time.Millisecond), len(paths))
+
+	srv := server.New(cat)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("siren-serve: serving on http://%s\n", ln.Addr())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	stop := make(chan struct{})
+	defer close(stop)
+	if *refreshEvery > 0 {
+		go func() {
+			t := time.NewTicker(*refreshEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					cat.Refresh()
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-sig:
+	case err := <-serveErr:
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	fmt.Println("siren-serve: drained")
+	return set.Close()
+}

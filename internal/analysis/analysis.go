@@ -44,9 +44,10 @@ func NewDataset(records []*postprocess.ProcessRecord) *Dataset {
 // records (what the tables and figures actually consume) are held. The
 // snapshot may be a single store's (*sirendb.Snapshot) or the merged view
 // of an N-receiver deployment (*sirendb.MergedSnapshot) — the analysis is
-// identical either way.
-func ConsolidateDataset(snap postprocess.SnapshotView) (*Dataset, postprocess.Stats) {
-	records, stats := postprocess.ConsolidateSnapshot(snap, postprocess.StreamOptions{})
+// identical either way. opts tune the streaming pass (worker count, job
+// filter); the zero value is the shard-mirrored default.
+func ConsolidateDataset(snap postprocess.SnapshotView, opts postprocess.StreamOptions) (*Dataset, postprocess.Stats) {
+	records, stats := postprocess.ConsolidateSnapshot(snap, opts)
 	return NewDataset(records), stats
 }
 

@@ -22,46 +22,114 @@ type SimilarityRow struct {
 	SymbolsS   int // SY_H
 }
 
-// scoreOrZero compares two digests, returning 0 for empty or malformed
-// digests (missing information must not abort the search — SIREN hashes the
-// lists precisely so that partial data stays comparable).
-func scoreOrZero(a, b string, backend ssdeep.Backend) int {
-	if a == "" || b == "" {
-		return 0
-	}
-	s, err := ssdeep.CompareWith(a, b, backend)
-	if err != nil {
-		return 0
-	}
-	return s
+// Digests is a query against the fingerprint index: the six characteristic
+// fuzzy hashes of an executable, any subset of which may be empty. It is
+// what a SIREN identify request carries — no process context, just the
+// hashes a scanner computed from an unknown binary.
+type Digests struct {
+	Modules   string // MO_H
+	Compilers string // CO_H
+	Objects   string // OB_H
+	File      string // FI_H
+	Strings   string // ST_H
+	Symbols   string // SY_H
 }
 
-// SimilaritySearch computes Table 7: it ranks every *known* (labelled) user
-// executable by average fuzzy-hash similarity to the baseline record across
-// the six characteristics (modules, compilers, objects, file, strings,
-// symbols). Executables are deduplicated by FILE_H so each distinct binary
-// appears once. topN <= 0 returns all rows with Avg > 0.
-func (d *Dataset) SimilaritySearch(baseline *postprocess.ProcessRecord, topN int, backend ssdeep.Backend) []SimilarityRow {
+// RecordDigests extracts a record's six characteristic digests — the query
+// the offline Table 7 search issues for its unknown baseline record.
+func RecordDigests(r *postprocess.ProcessRecord) Digests {
+	return Digests{
+		Modules:   r.ModulesH,
+		Compilers: r.CompilersH,
+		Objects:   r.ObjectsH,
+		File:      r.FileH,
+		Strings:   r.StringsH,
+		Symbols:   r.SymbolsH,
+	}
+}
+
+// Empty reports whether no characteristic digest is set.
+func (q Digests) Empty() bool {
+	return q == Digests{}
+}
+
+// Fingerprint is one catalog entry of the index: a known (labelled) user
+// executable's six characteristic digests.
+type Fingerprint struct {
+	Label     string
+	Exe       string
+	Modules   string
+	Compilers string
+	Objects   string
+	File      string
+	Strings   string
+	Symbols   string
+}
+
+// FingerprintIndex is the labelled fingerprint catalog a similarity search
+// ranks against: one entry per distinct known user binary, deduplicated by
+// FILE_H. Both recognition paths are built on it — the offline Table 7
+// search (Dataset.SimilaritySearch) constructs one per call, and the online
+// identify endpoint keeps one per catalog generation — so the ranking math
+// exists exactly once. The index is immutable after construction and safe
+// for concurrent Search calls.
+type FingerprintIndex struct {
+	fps []Fingerprint
+}
+
+// NewFingerprintIndex builds the index from consolidated records, in record
+// order: user-category records carrying a FILE_H, deduplicated by FILE_H
+// (first labelled occurrence wins), excluding UNKNOWN-labelled executables —
+// the search ranks only known instances against the unknown. An
+// UNKNOWN-labelled record does not claim its FILE_H: a later labelled record
+// sharing the binary still enters the index, exactly as the original
+// SimilaritySearch iteration behaved.
+func NewFingerprintIndex(records []*postprocess.ProcessRecord) *FingerprintIndex {
+	ix := &FingerprintIndex{}
 	seen := make(map[string]bool)
-	var rows []SimilarityRow
-	for _, r := range d.Records {
+	for _, r := range records {
 		if r.Category != "user" || r.FileH == "" || seen[r.FileH] {
 			continue
 		}
 		label := DeriveLabel(r.Exe)
 		if label == UnknownLabel {
-			continue // rank only known instances against the unknown
+			continue
 		}
 		seen[r.FileH] = true
+		ix.fps = append(ix.fps, Fingerprint{
+			Label:     label,
+			Exe:       r.Exe,
+			Modules:   r.ModulesH,
+			Compilers: r.CompilersH,
+			Objects:   r.ObjectsH,
+			File:      r.FileH,
+			Strings:   r.StringsH,
+			Symbols:   r.SymbolsH,
+		})
+	}
+	return ix
+}
+
+// Len reports the number of distinct fingerprints in the index.
+func (ix *FingerprintIndex) Len() int { return len(ix.fps) }
+
+// Search ranks every fingerprint by average fuzzy-hash similarity to the
+// query across the six characteristics — the Table 7 computation. Rows with
+// Avg == 0 are dropped; rows sort by Avg desc, then Label, then Exe. topN <=
+// 0 returns all matching rows.
+func (ix *FingerprintIndex) Search(q Digests, topN int, backend ssdeep.Backend) []SimilarityRow {
+	var rows []SimilarityRow
+	for i := range ix.fps {
+		fp := &ix.fps[i]
 		row := SimilarityRow{
-			Label:      label,
-			Exe:        r.Exe,
-			ModulesS:   scoreOrZero(baseline.ModulesH, r.ModulesH, backend),
-			CompilersS: scoreOrZero(baseline.CompilersH, r.CompilersH, backend),
-			ObjectsS:   scoreOrZero(baseline.ObjectsH, r.ObjectsH, backend),
-			FileS:      scoreOrZero(baseline.FileH, r.FileH, backend),
-			StringsS:   scoreOrZero(baseline.StringsH, r.StringsH, backend),
-			SymbolsS:   scoreOrZero(baseline.SymbolsH, r.SymbolsH, backend),
+			Label:      fp.Label,
+			Exe:        fp.Exe,
+			ModulesS:   scoreOrZero(q.Modules, fp.Modules, backend),
+			CompilersS: scoreOrZero(q.Compilers, fp.Compilers, backend),
+			ObjectsS:   scoreOrZero(q.Objects, fp.Objects, backend),
+			FileS:      scoreOrZero(q.File, fp.File, backend),
+			StringsS:   scoreOrZero(q.Strings, fp.Strings, backend),
+			SymbolsS:   scoreOrZero(q.Symbols, fp.Symbols, backend),
 		}
 		row.Avg = float64(row.ModulesS+row.CompilersS+row.ObjectsS+row.FileS+row.StringsS+row.SymbolsS) / 6
 		if row.Avg > 0 {
@@ -81,6 +149,34 @@ func (d *Dataset) SimilaritySearch(baseline *postprocess.ProcessRecord, topN int
 		rows = rows[:topN]
 	}
 	return rows
+}
+
+// scoreOrZero compares two digests, returning 0 for empty or malformed
+// digests (missing information must not abort the search — SIREN hashes the
+// lists precisely so that partial data stays comparable).
+func scoreOrZero(a, b string, backend ssdeep.Backend) int {
+	if a == "" || b == "" {
+		return 0
+	}
+	s, err := ssdeep.CompareWith(a, b, backend)
+	if err != nil {
+		return 0
+	}
+	return s
+}
+
+// SimilaritySearch computes Table 7: it ranks every *known* (labelled) user
+// executable by average fuzzy-hash similarity to the baseline record across
+// the six characteristics (modules, compilers, objects, file, strings,
+// symbols). Executables are deduplicated by FILE_H so each distinct binary
+// appears once. topN <= 0 returns all rows with Avg > 0.
+//
+// This is the one-shot offline form of the shared implementation: it builds
+// a FingerprintIndex over the dataset and queries it with the baseline's
+// digests — byte-identical ranking to the online identify endpoint serving
+// a catalog generation of the same records.
+func (d *Dataset) SimilaritySearch(baseline *postprocess.ProcessRecord, topN int, backend ssdeep.Backend) []SimilarityRow {
+	return NewFingerprintIndex(d.Records).Search(RecordDigests(baseline), topN, backend)
 }
 
 // FindUnknown returns the first user-category record whose derived label is

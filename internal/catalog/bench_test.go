@@ -1,0 +1,69 @@
+// BenchmarkCatalogRefresh pins the serving tier's scaling claim: an
+// incremental refresh after one new job costs O(new rows + total records),
+// while a full rebuild re-reads and re-consolidates every stored message.
+// Compare the incremental lines across jobs= sizes (near-flat: only the
+// generation-assembly term grows) against the full lines (linear in store
+// size). make bench-serve runs the suite; EXPERIMENTS.md §6 records the
+// curve.
+package catalog_test
+
+import (
+	"fmt"
+	"testing"
+
+	"siren/internal/catalog"
+	"siren/internal/sirendb"
+)
+
+func benchStore(b *testing.B, jobs int) *sirendb.DB {
+	b.Helper()
+	db, err := sirendb.OpenOptions("", sirendb.Options{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for j := 0; j < jobs; j++ {
+		seedJob(b, db, j, 1733900000+int64(j))
+	}
+	return db
+}
+
+func BenchmarkCatalogRefresh(b *testing.B) {
+	for _, jobs := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("incremental/jobs=%d", jobs), func(b *testing.B) {
+			b.ReportAllocs()
+			// Each iteration measures exactly one delta refresh — a warm
+			// catalog over a store of the stated size that just gained one
+			// job. The store is rebuilt outside the timer so the measured
+			// store size stays fixed (appending inside a shared store would
+			// silently grow it by b.N jobs and measure the wrong curve).
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := benchStore(b, jobs)
+				cat := catalog.New(catalog.StoreSource(db), catalog.Options{})
+				cat.Refresh()
+				seedJob(b, db, jobs, 1734000000)
+				b.StartTimer()
+				if rs := cat.Refresh(); rs.Reconsolidated != 1 {
+					b.Fatalf("refresh reconsolidated %d jobs, want 1", rs.Reconsolidated)
+				}
+				b.StopTimer()
+				db.Close()
+				b.StartTimer()
+			}
+		})
+		b.Run(fmt.Sprintf("full/jobs=%d", jobs), func(b *testing.B) {
+			b.ReportAllocs()
+			db := benchStore(b, jobs)
+			defer db.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A cold catalog pays the whole store every time — the
+				// baseline the incremental path is measured against.
+				cat := catalog.New(catalog.StoreSource(db), catalog.Options{})
+				if rs := cat.Refresh(); rs.Reconsolidated != jobs {
+					b.Fatalf("refresh reconsolidated %d jobs, want %d", rs.Reconsolidated, jobs)
+				}
+			}
+		})
+	}
+}

@@ -147,7 +147,7 @@ func (p *Pipeline) Analyze() (*analysis.Dataset, postprocess.Stats, error) {
 	if err := p.Drain(); err != nil {
 		return nil, postprocess.Stats{}, err
 	}
-	data, stats := analysis.ConsolidateDataset(p.db.Snapshot())
+	data, stats := analysis.ConsolidateDataset(p.db.Snapshot(), postprocess.StreamOptions{})
 	return data, stats, nil
 }
 

@@ -93,6 +93,28 @@ type Stats struct {
 	JobsWithMissing      int
 }
 
+// AddJob folds one consolidated job into the summary — the single
+// accumulation rule shared by the streaming pass and incremental consumers
+// (the serving catalog) splicing carried jobs across refreshes, so both
+// report identical Stats for identical records. messages is the job's
+// stored wire messages, logical its reassembled record count.
+func (s *Stats) AddJob(records []*ProcessRecord, messages, logical int) {
+	s.Jobs++
+	s.Messages += messages
+	s.Records += logical
+	jobMissing := false
+	for _, r := range records {
+		s.Processes++
+		if len(r.MissingFields) > 0 {
+			s.ProcessesWithMissing++
+			jobMissing = true
+		}
+	}
+	if jobMissing {
+		s.JobsWithMissing++
+	}
+}
+
 // Consolidate snapshots db and produces one ProcessRecord per process
 // instance, sorted by (Time, JobID, PID, ExeHash) for determinism.
 //
@@ -112,7 +134,7 @@ func ConsolidateMessages(msgs []wire.Message) ([]*ProcessRecord, Stats) {
 	stats := Stats{Messages: len(msgs)}
 	out, nRecords := consolidateChunk(msgs)
 	stats.Records = nRecords
-	sortRecords(out)
+	SortRecords(out)
 	countRecordStats(&stats, out)
 	return out, stats
 }
@@ -191,9 +213,12 @@ func consolidateChunk(msgs []wire.Message) (out []*ProcessRecord, nRecords int) 
 	return out, nRecords
 }
 
-// sortRecords orders records by (Time, JobID, PID, ExeHash) — the
-// deterministic output order of every consolidation entry point.
-func sortRecords(out []*ProcessRecord) {
+// SortRecords orders records by (Time, JobID, PID, ExeHash) — the
+// deterministic output order of every consolidation entry point. Exported
+// so incremental consumers (the serving catalog) that splice per-job record
+// sets across refresh passes can restore exactly the order a fresh
+// whole-store consolidation would produce.
+func SortRecords(out []*ProcessRecord) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Time != b.Time {

@@ -60,6 +60,18 @@ type SnapshotView interface {
 	JobShardCounts() map[string]int
 	// JobRows streams every row of one job in global insertion order.
 	JobRows(job string, f func(m wire.Message) bool)
+	// LastSeq reports the highest sequence number the snapshot contains;
+	// every row it yields has seq <= LastSeq. Successive snapshots of a
+	// growing store have non-decreasing LastSeq, which makes the value a
+	// refresh watermark.
+	LastSeq() uint64
+	// JobsChangedSince returns the job IDs with at least one row whose
+	// sequence number is strictly greater than since, sorted; since=0
+	// returns every job. An incremental consumer holding consolidated state
+	// as of watermark W re-consolidates exactly JobsChangedSince(W) against
+	// the new snapshot — the append-only store guarantees every other job's
+	// rows are byte-identical to the previous capture.
+	JobsChangedSince(since uint64) []string
 }
 
 // Both snapshot flavours satisfy the extracted cursor surface.
@@ -74,6 +86,11 @@ type StreamOptions struct {
 	// anything above the snapshot's shard count) means one worker per
 	// shard cursor — the shard-mirrored default.
 	Workers int
+	// JobFilter, when non-nil, restricts the pass to jobs it returns true
+	// for; other jobs are skipped before any of their rows are read. This is
+	// how an incremental catalog refresh consolidates only the jobs changed
+	// since its watermark instead of the whole store.
+	JobFilter func(job string) bool
 }
 
 // JobRecords is one fully consolidated job — the unit the streaming fan-in
@@ -85,6 +102,12 @@ type StreamOptions struct {
 type JobRecords struct {
 	JobID   string
 	Records []*ProcessRecord
+	// Messages is the number of stored wire messages consolidated into this
+	// job; Reassembled the number of logical records after chunk reassembly.
+	// An incremental consumer carrying whole jobs across passes accumulates
+	// these into the Stats a fresh full pass would report.
+	Messages    int
+	Reassembled int
 }
 
 // jobSegment is one shard's contribution to a job.
@@ -128,6 +151,9 @@ func ConsolidateStream(snap SnapshotView, opts StreamOptions, yield func(JobReco
 					return
 				}
 				for _, job := range snap.ShardJobs(sh) {
+					if opts.JobFilter != nil && !opts.JobFilter(job) {
+						continue
+					}
 					buf = buf[:0]
 					var firstSeq uint64
 					snap.ShardJobRows(sh, job, func(m wire.Message, seq uint64) bool {
@@ -205,20 +231,9 @@ func ConsolidateStream(snap SnapshotView, opts StreamOptions, yield func(JobReco
 			}
 		}
 
-		stats.Jobs++
-		stats.Messages += messages
-		stats.Records += records
-		jobMissing := false
-		for _, r := range jr.Records {
-			stats.Processes++
-			if len(r.MissingFields) > 0 {
-				stats.ProcessesWithMissing++
-				jobMissing = true
-			}
-		}
-		if jobMissing {
-			stats.JobsWithMissing++
-		}
+		jr.Messages = messages
+		jr.Reassembled = records
+		stats.AddJob(jr.Records, messages, records)
 
 		if !yield(jr) {
 			stopped = true
@@ -257,6 +272,6 @@ func ConsolidateSnapshot(snap SnapshotView, opts StreamOptions) ([]*ProcessRecor
 		out = append(out, j.Records...)
 		return true
 	})
-	sortRecords(out)
+	SortRecords(out)
 	return out, stats
 }

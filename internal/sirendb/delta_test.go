@@ -1,0 +1,93 @@
+// Watermark/delta tests: JobsChangedSince is what the incremental catalog
+// refresh stands on — a job missing from the delta is a job the serving
+// tier will never re-read, so over- and under-reporting are both bugs.
+package sirendb
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestSnapshotJobsChangedSince(t *testing.T) {
+	db, err := OpenOptions("", Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	for i := 0; i < 30; i++ {
+		if err := db.Insert(jobMsg(fmt.Sprintf("job-%d", i%3), "h1", i, "wave1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mark := db.Snapshot().LastSeq()
+
+	// Wave 2 touches job-1 only (same host → same shard) and adds job-9.
+	for i := 0; i < 5; i++ {
+		db.Insert(jobMsg("job-1", "h1", 1000+i, "wave2"))
+		db.Insert(jobMsg("job-9", "h1", 2000+i, "wave2"))
+	}
+	snap := db.Snapshot()
+
+	if got := snap.JobsChangedSince(0); !reflect.DeepEqual(got, []string{"job-0", "job-1", "job-2", "job-9"}) {
+		t.Errorf("JobsChangedSince(0) = %v, want all jobs", got)
+	}
+	if got := snap.JobsChangedSince(mark); !reflect.DeepEqual(got, []string{"job-1", "job-9"}) {
+		t.Errorf("JobsChangedSince(%d) = %v, want [job-1 job-9]", mark, got)
+	}
+	if got := snap.JobsChangedSince(snap.LastSeq()); len(got) != 0 {
+		t.Errorf("JobsChangedSince(LastSeq) = %v, want empty", got)
+	}
+
+	// A snapshot taken before wave 2 must keep answering from its own cut:
+	// the pre-wave snapshot saw no row past mark.
+	if pre := db.Snapshot(); pre.LastSeq() < mark {
+		t.Fatalf("LastSeq went backwards: %d < %d", pre.LastSeq(), mark)
+	}
+}
+
+func TestMergedSnapshotJobsChangedSince(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{filepath.Join(dir, "m0.wal"), filepath.Join(dir, "m1.wal")}
+	var snaps []*Snapshot
+	var marks []uint64
+	for mi, p := range paths {
+		db, err := OpenOptions(p, Options{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			db.Insert(jobMsg(fmt.Sprintf("job-%d-%d", mi, i%2), "h1", i, "wave1"))
+		}
+		marks = append(marks, db.Snapshot().LastSeq())
+		// Wave 2: member 1 gains a new job; member 0 stays untouched.
+		if mi == 1 {
+			for i := 0; i < 4; i++ {
+				db.Insert(jobMsg("job-new", "h1", 100+i, "wave2"))
+			}
+		}
+		snaps = append(snaps, db.Snapshot())
+		db.Close()
+	}
+
+	merged := MergeSnapshots(snaps)
+	// The merged watermark after wave 1 rebases member 1's mark by member
+	// 0's full range.
+	wave1 := snaps[0].LastSeq() + marks[1]
+	if got := merged.JobsChangedSince(wave1); !reflect.DeepEqual(got, []string{"job-new"}) {
+		t.Errorf("merged JobsChangedSince(%d) = %v, want [job-new]", wave1, got)
+	}
+	if got := merged.JobsChangedSince(0); len(got) != 5 {
+		t.Errorf("merged JobsChangedSince(0) = %v, want 5 jobs", got)
+	}
+	if got := merged.JobsChangedSince(merged.LastSeq()); len(got) != 0 {
+		t.Errorf("merged JobsChangedSince(LastSeq) = %v, want empty", got)
+	}
+	// A watermark at exactly member 0's end reports every member-1 job and
+	// nothing of member 0.
+	if got := merged.JobsChangedSince(snaps[0].LastSeq()); !reflect.DeepEqual(got, []string{"job-1-0", "job-1-1", "job-new"}) {
+		t.Errorf("merged JobsChangedSince(member0 end) = %v, want member-1 jobs", got)
+	}
+}

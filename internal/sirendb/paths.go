@@ -1,0 +1,81 @@
+package sirendb
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+)
+
+// ResolveSetPaths expands a database spec into member WAL base paths — the
+// shared -db argument grammar of cmd/siren-analyze and cmd/siren-serve:
+// split on commas; an element without glob metacharacters is a literal base
+// path, used verbatim (a fresh WAL path opens an empty store, and a base
+// path that happens to end in digits is never mangled); an element with
+// metacharacters is expanded, its matches — the stores' on-disk artifacts —
+// folded back to base paths, and the result deduplicated preserving order.
+// A pattern matching nothing is an error: silently analysing a freshly
+// created empty store instead of the intended members would report a
+// zero-row campaign as success.
+func ResolveSetPaths(spec string) ([]string, error) {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(base string) {
+		if !seen[base] {
+			seen[base] = true
+			out = append(out, base)
+		}
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.ContainsAny(part, "*?[") {
+			add(part)
+			continue
+		}
+		matches, err := filepath.Glob(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad -db pattern %q: %w", part, err)
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("-db pattern %q matches nothing", part)
+		}
+		for _, m := range matches {
+			add(basePath(m))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-db %q names no databases", spec)
+	}
+	return out, nil
+}
+
+// basePath folds one of a store's on-disk artifacts back to its WAL base
+// path: the advisory lock "base.lock", compaction temporaries
+// "base.N.compact" / "base.compact-commit", and segment files "base.N".
+// Exactly one numeric (segment) suffix is stripped — a base path that
+// itself ends in digits must not collapse further ("siren.0.2" is segment
+// 2 of base "siren.0", not of base "siren").
+func basePath(p string) string {
+	if s, ok := strings.CutSuffix(p, ".lock"); ok {
+		return s
+	}
+	if s, ok := strings.CutSuffix(p, ".compact-commit"); ok {
+		return s
+	}
+	p = strings.TrimSuffix(p, ".compact")
+	if i := strings.LastIndexByte(p, '.'); i >= 0 && i < len(p)-1 && isDigits(p[i+1:]) {
+		return p[:i]
+	}
+	return p
+}
+
+func isDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}

@@ -22,6 +22,7 @@ package sirendb
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"siren/internal/wire"
 )
@@ -155,6 +156,39 @@ func (ms *MergedSnapshot) LastSeq() uint64 {
 	}
 	last := len(ms.members) - 1
 	return ms.offsets[last] + ms.members[last].LastSeq()
+}
+
+// JobsChangedSince returns the job IDs with at least one row whose rebased
+// sequence number is strictly greater than since, sorted. Watermarks are
+// only comparable across merged snapshots with the same member set in the
+// same order and non-shrinking members (both deployment shapes guarantee
+// that: a live store only appends, and an OpenSet holds every member's
+// exclusive lock so a finished campaign cannot change at all) — rebasing
+// offsets are cumulative member LastSeqs, so removing or reordering members
+// would re-home rebased sequence ranges.
+func (ms *MergedSnapshot) JobsChangedSince(since uint64) []string {
+	seen := make(map[string]struct{})
+	for i, sn := range ms.members {
+		// Member i's rows carry rebased seqs in (off, off+LastSeq]; translate
+		// the global watermark into the member's local sequence space.
+		off := ms.offsets[i]
+		var local uint64
+		if since > off {
+			if since >= off+sn.LastSeq() {
+				continue // watermark is past this member's whole range
+			}
+			local = since - off
+		}
+		for _, job := range sn.JobsChangedSince(local) {
+			seen[job] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for job := range seen {
+		out = append(out, job)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // ShardJobs returns merged shard i's distinct job IDs in first-appearance

@@ -127,6 +127,33 @@ func (sn *Snapshot) Jobs() []string {
 	return sn.jobs
 }
 
+// JobsChangedSince returns the job IDs with at least one row whose sequence
+// number is strictly greater than since, sorted — the delta an incremental
+// catalog refresh re-consolidates. since=0 returns every job (sequence
+// numbers start at 1). The check is O(shards × jobs), never O(rows): each
+// shard's by-job index list is sequence-ascending, so its last entry is the
+// shard's newest row of that job.
+func (sn *Snapshot) JobsChangedSince(since uint64) []string {
+	seen := make(map[string]struct{})
+	for i := range sn.shards {
+		sv := &sn.shards[i]
+		for job, idxs := range sv.byJob {
+			if _, ok := seen[job]; ok {
+				continue
+			}
+			if sv.rows[idxs[len(idxs)-1]].seq > since {
+				seen[job] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for job := range seen {
+		out = append(out, job)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // ShardJobs returns shard i's distinct job IDs in first-appearance
 // (insertion) order — the iteration order of the shard-parallel streaming
 // consolidation workers, chosen so each worker visits its jobs roughly in

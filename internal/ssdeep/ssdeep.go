@@ -244,6 +244,21 @@ func (b Backend) String() string {
 	}
 }
 
+// ParseBackend maps a backend name to its Backend — the shared grammar of
+// the siren-hash -backend flag and the serve-tier identify API. The empty
+// string selects the default (weighted) backend.
+func ParseBackend(name string) (Backend, error) {
+	switch name {
+	case "", "weighted":
+		return BackendWeighted, nil
+	case "damerau", "damerau-levenshtein":
+		return BackendDamerau, nil
+	case "levenshtein":
+		return BackendLevenshtein, nil
+	}
+	return BackendWeighted, fmt.Errorf("unknown backend %q (want weighted|damerau|levenshtein)", name)
+}
+
 func (b Backend) distance(s1, s2 string) int {
 	switch b {
 	case BackendDamerau:
