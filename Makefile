@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet fmt fmt-check lint bench bench-smoke bench-store bench-read bench-serve test-replay test-cluster test-serve ci
+.PHONY: build test test-race vet fmt fmt-check lint staticcheck bench bench-smoke bench-store bench-read bench-serve bench-gate bench-gate-run bench-rebaseline test-replay test-cluster test-serve ci
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,19 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-lint: vet fmt-check
+# Pinned so CI and laptops agree on the finding set. `go run` resolves the
+# tool from the module cache or the network; on an offline machine with a
+# cold cache there is nothing to run, so the target degrades to a skip
+# instead of failing the whole lint bundle.
+STATICCHECK_VERSION ?= 2025.1
+staticcheck:
+	@if $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	else \
+		echo "staticcheck $(STATICCHECK_VERSION) unavailable (offline, cold module cache): skipping"; \
+	fi
+
+lint: vet fmt-check staticcheck
 
 # Full benchmark suite (regenerates the evaluation tables alongside timings).
 bench:
@@ -34,8 +46,10 @@ bench:
 # One iteration per benchmark: proves every bench still compiles and runs
 # (includes the segmented-store benchmarks in internal/sirendb and the
 # sharded-vs-single-mutex store comparison in internal/receiver).
+# -short skips the 100k-entry identify catalogs: the smoke run proves the
+# benches compile and run, not how they scale.
 bench-smoke:
-	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) test -run=NONE -bench=. -benchtime=1x -short ./...
 
 # Segmented-store throughput: the sharded-store insert path and the receiver
 # ingest comparison against the single-mutex store (EXPERIMENTS.md §3).
@@ -87,4 +101,33 @@ bench-serve:
 	$(GO) test -run=NONE -bench='BenchmarkIdentify|BenchmarkCatalogRefresh' \
 		-benchmem -benchtime=$(BENCHTIME) ./internal/catalog ./internal/server
 
-ci: build vet fmt-check test-race bench-smoke
+# Benchmark-regression gate (DESIGN.md §9). One representative benchmark per
+# tier — indexed identify (analysis and full handler stack), incremental
+# catalog refresh, store insert, receiver ingest — each run -count times so
+# benchdiff can take the noise-resistant minimum, compared against the
+# committed baseline and failing on a >25% geometric-mean slowdown. After an
+# intentional perf change, re-baseline with `make bench-rebaseline` on the
+# reference machine and commit the new BENCH_BASELINE.json.
+BENCH_GATE_COUNT ?= 5
+BENCH_BASELINE ?= BENCH_BASELINE.json
+BENCH_GATE_OUT ?= .bench/gate.txt
+
+bench-gate-run:
+	@mkdir -p .bench && rm -f $(BENCH_GATE_OUT)
+	$(GO) test -run=NONE -bench='BenchmarkIdentify/n=10000$$/indexed$$' -count=$(BENCH_GATE_COUNT) ./internal/analysis | tee -a $(BENCH_GATE_OUT)
+	$(GO) test -run=NONE -bench='BenchmarkIdentify/serial/jobs=16$$' -count=$(BENCH_GATE_COUNT) ./internal/server | tee -a $(BENCH_GATE_OUT)
+	$(GO) test -run=NONE -bench='BenchmarkCatalogRefresh/incremental/jobs=16$$' -count=$(BENCH_GATE_COUNT) ./internal/catalog | tee -a $(BENCH_GATE_OUT)
+	$(GO) test -run=NONE -bench='BenchmarkInsertBatch/store=mem/shards=4/writers=4$$' -count=$(BENCH_GATE_COUNT) ./internal/sirendb | tee -a $(BENCH_GATE_OUT)
+	$(GO) test -run=NONE -bench='BenchmarkReceiverIngest/shards=4/payload=512$$' -count=$(BENCH_GATE_COUNT) ./internal/receiver | tee -a $(BENCH_GATE_OUT)
+
+bench-gate: bench-gate-run
+	$(GO) run ./cmd/benchdiff -baseline $(BENCH_BASELINE) -threshold 1.25 $(BENCH_GATE_OUT)
+
+bench-rebaseline: bench-gate-run
+	$(GO) run ./cmd/benchdiff -write -out $(BENCH_BASELINE) $(BENCH_GATE_OUT)
+
+# Everything the three CI jobs run (test, e2e, bench), serially.
+ci: build vet fmt-check staticcheck test-race test-cluster test-serve bench-smoke
+	$(MAKE) bench-read BENCHTIME=1x
+	$(MAKE) bench-serve BENCHTIME=1x
+	$(MAKE) bench-gate

@@ -5,6 +5,7 @@
 package analysis
 
 import (
+	"reflect"
 	"testing"
 
 	"siren/internal/postprocess"
@@ -105,5 +106,54 @@ func TestSearchSurvivesMalformedCatalogDigests(t *testing.T) {
 	}
 	if rows[0].Label != "LAMMPS" || rows[0].FileS != 100 || rows[0].StringsS != 0 || rows[0].ModulesS != 0 {
 		t.Errorf("malformed-digest row scored wrong: %+v", rows[0])
+	}
+}
+
+// TestOneMalformedDigestScoresOtherFive pins the per-characteristic
+// independence of the indexed search: an entry carrying exactly one
+// malformed digest still scores nonzero on all five valid ones — parse
+// failure is confined to its characteristic, for indexing and scoring alike.
+func TestOneMalformedDigestScoresOtherFive(t *testing.T) {
+	h := func(body string) string {
+		d, err := ssdeep.HashString("shared characteristic body for " + body +
+			" with enough repeated and varied structure to digest 0 1 2 3 4 5 6 7 8 9")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	rec := &postprocess.ProcessRecord{
+		JobID: "1", Category: "user", Exe: "/appl/lammps/lmp",
+		FileH:    h("file"),
+		ModulesH: h("modules"),
+		ObjectsH: h("objects"),
+		StringsH: h("strings"),
+		SymbolsH: h("symbols"),
+		// The sixth characteristic is corrupt — signature bytes truncated away.
+		CompilersH: "1536:::::garbage",
+	}
+	ix := NewFingerprintIndex([]*postprocess.ProcessRecord{rec})
+	q := Digests{
+		File: h("file"), Modules: h("modules"), Objects: h("objects"),
+		Strings: h("strings"), Symbols: h("symbols"), Compilers: h("compilers"),
+	}
+	rows := ix.Search(q, 0, ssdeep.BackendWeighted)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v, want the one entry", rows)
+	}
+	r := rows[0]
+	for name, score := range map[string]int{
+		"File": r.FileS, "Modules": r.ModulesS, "Objects": r.ObjectsS,
+		"Strings": r.StringsS, "Symbols": r.SymbolsS,
+	} {
+		if score == 0 {
+			t.Errorf("%s scored 0, want >0 (malformed CompilersH must not poison it)", name)
+		}
+	}
+	if r.CompilersS != 0 {
+		t.Errorf("CompilersS = %d, want 0 (malformed stored digest)", r.CompilersS)
+	}
+	if exh := ix.SearchExhaustive(q, 0, ssdeep.BackendWeighted); !reflect.DeepEqual(rows, exh) {
+		t.Errorf("indexed and exhaustive disagree on the partially-malformed entry")
 	}
 }

@@ -234,8 +234,13 @@ func (c *Catalog) Refresh() RefreshStats {
 		LastSeq: snap.LastSeq(),
 		Dataset: analysis.NewDataset(records),
 		Stats:   stats,
-		Index:   analysis.NewFingerprintIndex(records),
-		jobs:    jobs,
+		// Derive the fingerprint index from the previous generation's:
+		// unchanged fingerprints keep their parsed digests and base-block
+		// postings (carried jobs share record pointers, so the carry check
+		// is a pointer compare), only new or altered ones are re-indexed
+		// (DESIGN.md §9).
+		Index: analysis.NewFingerprintIndexFrom(prev.Index, records),
+		jobs:  jobs,
 	}
 	c.cur.Store(gen)
 

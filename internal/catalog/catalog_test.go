@@ -166,6 +166,13 @@ func TestIncrementalRefreshMatchesFull(t *testing.T) {
 	if rs.Gen != 2 || rs.Reconsolidated != 2 || rs.Carried != initialJobs-1 {
 		t.Fatalf("incremental refresh stats = %+v, want gen 2, 2 reconsolidated, %d carried", rs, initialJobs-1)
 	}
+	// The gen-2 fingerprint index must be a splice off gen 1, not a full
+	// rebuild: a rebuild lands every fingerprint in the base block, a splice
+	// keeps derived entries in the extra block (at this catalog size the
+	// boot generation's base is empty, so everything rides extra).
+	if s := cat.Generation().Index.Stats(); s.Extra == 0 {
+		t.Errorf("gen-2 index stats = %+v, want spliced entries in the extra block", s)
+	}
 
 	// The incremental generation must be indistinguishable from a full
 	// offline pass over the same snapshot.

@@ -13,7 +13,17 @@
 //
 // All functions operate on byte strings because SSDeep digests are ASCII
 // (base64 alphabet); multi-byte runes never occur in digests.
+//
+// The distance kernels run once per characteristic per scored candidate on
+// the identify path, so they avoid heap work for digest-sized inputs:
+// rolling DP rows live on the stack whenever the inner string is shorter
+// than stackRow (spamsum signatures are at most 64 bytes), and the n-gram
+// gate packs grams into stack arrays instead of building a map.
 package editdist
+
+// stackRow bounds the inner DP dimension served from the stack. Spamsum
+// signatures are ≤64 bytes; anything longer falls back to the heap.
+const stackRow = 72
 
 // Levenshtein returns the classic edit distance between a and b: the minimum
 // number of single-byte insertions, deletions, or substitutions required to
@@ -32,8 +42,8 @@ func Levenshtein(a, b string) int {
 	if len(a) < len(b) {
 		a, b = b, a
 	}
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
+	var prevBuf, curBuf [stackRow]int
+	prev, cur := row(&prevBuf, len(b)+1), row(&curBuf, len(b)+1)
 	for j := 0; j <= len(b); j++ {
 		prev[j] = j
 	}
@@ -50,6 +60,15 @@ func Levenshtein(a, b string) int {
 		prev, cur = cur, prev
 	}
 	return prev[len(b)]
+}
+
+// row serves a length-n work row from the caller's stack buffer when it
+// fits, from the heap otherwise.
+func row(buf *[stackRow]int, n int) []int {
+	if n <= stackRow {
+		return buf[:n]
+	}
+	return make([]int, n)
 }
 
 // DamerauLevenshtein returns the optimal-string-alignment variant of the
@@ -70,9 +89,8 @@ func DamerauLevenshtein(a, b string) int {
 		a, b = b, a
 	}
 	// Three rolling rows: i-2, i-1, i.
-	row2 := make([]int, len(b)+1)
-	row1 := make([]int, len(b)+1)
-	row0 := make([]int, len(b)+1)
+	var buf2, buf1, buf0 [stackRow]int
+	row2, row1, row0 := row(&buf2, len(b)+1), row(&buf1, len(b)+1), row(&buf0, len(b)+1)
 	for j := 0; j <= len(b); j++ {
 		row1[j] = j
 	}
@@ -114,8 +132,8 @@ func Weighted(a, b string) int {
 	if len(a) < len(b) {
 		a, b = b, a
 	}
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
+	var prevBuf, curBuf [stackRow]int
+	prev, cur := row(&prevBuf, len(b)+1), row(&curBuf, len(b)+1)
 	for j := 0; j <= len(b); j++ {
 		prev[j] = j
 	}
@@ -143,8 +161,8 @@ func LongestCommonSubstring(a, b string) int {
 	if len(a) < len(b) {
 		a, b = b, a
 	}
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
+	var prevBuf, curBuf [stackRow]int
+	prev, cur := row(&prevBuf, len(b)+1), row(&curBuf, len(b)+1)
 	best := 0
 	for i := 1; i <= len(a); i++ {
 		ca := a[i-1]
@@ -168,13 +186,45 @@ func LongestCommonSubstring(a, b string) int {
 // the rolling-hash window) before computing an edit distance, to suppress
 // coincidental low-distance matches between short digests.
 //
-// The implementation indexes all n-grams of a in a set and probes b's
-// n-grams, which is O(len(a)+len(b)) expected time.
+// For digest-sized inputs with n ≤ 8 (the ssdeep gate is n = 7) the grams
+// pack into uint64s on the stack and the probe is a linear scan — no
+// allocation, and for ≤64-byte signatures the quadratic scan is cheaper
+// than hashing. Longer inputs fall back to a map, O(len(a)+len(b))
+// expected time.
 func HasCommonSubstring(a, b string, n int) bool {
 	if n <= 0 {
 		return true
 	}
 	if len(a) < n || len(b) < n {
+		return false
+	}
+	if len(b) < len(a) {
+		a, b = b, a // index the smaller side
+	}
+	if n <= 8 && len(a)-n+1 <= stackRow {
+		var gramBuf [stackRow]uint64
+		mask := ^uint64(0) >> (64 - 8*uint(n))
+		var g uint64
+		for i := 0; i < len(a); i++ {
+			g = g<<8 | uint64(a[i])
+			if i >= n-1 {
+				gramBuf[i-(n-1)] = g & mask
+			}
+		}
+		grams := gramBuf[:len(a)-n+1]
+		g = 0
+		for i := 0; i < len(b); i++ {
+			g = g<<8 | uint64(b[i])
+			if i < n-1 {
+				continue
+			}
+			probe := g & mask
+			for _, have := range grams {
+				if have == probe {
+					return true
+				}
+			}
+		}
 		return false
 	}
 	grams := make(map[string]struct{}, len(a)-n+1)

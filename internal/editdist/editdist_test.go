@@ -260,3 +260,30 @@ func BenchmarkWeighted64(b *testing.B) {
 		Weighted(s1, s2)
 	}
 }
+
+// TestHasCommonSubstringPackedVsMap drives both gate implementations — the
+// packed stack path (n ≤ 8, small indexed side) and the map fallback (longer
+// inputs or wider windows) — across the boundary between them, against the
+// LCS oracle.
+func TestHasCommonSubstringPackedVsMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	lengths := []int{0, 6, 7, 8, 64, stackRow + 6, stackRow + 7, stackRow + 8, 200}
+	for i := 0; i < 60; i++ {
+		for _, la := range lengths {
+			a := randomDigest(rng, la)
+			b := randomDigest(rng, rng.Intn(200))
+			if rng.Intn(2) == 0 && len(a) >= 10 {
+				// Plant a shared window so the positive path triggers on
+				// long inputs too.
+				k := rng.Intn(len(a) - 9)
+				b += a[k : k+9]
+			}
+			for _, n := range []int{7, 8, 9} {
+				want := LongestCommonSubstring(a, b) >= n
+				if got := HasCommonSubstring(a, b, n); got != want {
+					t.Fatalf("HasCommonSubstring(%q,%q,%d) = %v, want %v", a, b, n, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Sub-linear candidate pruning over fuzzy-hash digests — the shared search
+// engine behind Matcher and analysis.FingerprintIndex.
+//
+// The engine exploits two structural preconditions of the ssdeep score
+// (CompareDigests): a pair of digests can score nonzero only when
+//
+//  1. their block sizes are comparable — equal, or one double the other
+//     (in the comparison's uint32 arithmetic), and
+//  2. either both run-clamped signatures are equal at equal block size
+//     (the score-100 shortcut), or the pair of signatures actually compared
+//     shares a contiguous substring of at least GramSize (7) bytes — the
+//     HasCommonSubstring gate inside scoreStrings.
+//
+// Entries are therefore bucketed by block size, and within a bucket every
+// GramSize-byte window ("gram") of each clamped signature is posted in an
+// inverted index. A query unions the posting lists of its own grams across
+// the comparable buckets — probing Sig1 grams against the signature slot its
+// Sig1 would be compared with, and likewise Sig2 — plus an exact-signature
+// table for the equality shortcut (which fires even for signatures shorter
+// than a gram). Everything the probe does not return provably scores zero,
+// so scoring only touches returned candidates and results stay byte-identical
+// to an exhaustive scan.
+package ssdeep
+
+// GramSize is the pruning n-gram width: the rolling-hash window length,
+// which is also the minimum common-substring length scoreStrings requires
+// for a nonzero score.
+const GramSize = rollingWindow
+
+const gramMask = 1<<(8*GramSize) - 1
+
+// PreparedDigest is a parsed digest in comparison-ready form: its signatures
+// have the run-length clamp (eliminateSequences) already applied, so
+// repeated comparisons and gram extraction skip that pre-pass.
+type PreparedDigest struct {
+	BlockSize uint32
+	S1, S2    string // clamped signatures
+}
+
+// PrepareDigest clamps a parsed digest's signatures for comparison.
+func PrepareDigest(d Digest) PreparedDigest {
+	return PreparedDigest{
+		BlockSize: d.BlockSize,
+		S1:        eliminateSequences(d.Sig1),
+		S2:        eliminateSequences(d.Sig2),
+	}
+}
+
+// ParsePrepared parses a digest string straight into prepared form.
+func ParsePrepared(s string) (PreparedDigest, error) {
+	d, err := ParseDigest(s)
+	if err != nil {
+		return PreparedDigest{}, err
+	}
+	return PrepareDigest(d), nil
+}
+
+// ComparePrepared scores two prepared digests, identically to CompareDigests
+// on the corresponding parsed digests.
+func ComparePrepared(p1, p2 PreparedDigest, backend Backend) int {
+	bs1, bs2 := p1.BlockSize, p2.BlockSize
+	if bs1 != bs2 && bs1 != bs2*2 && bs2 != bs1*2 {
+		return 0
+	}
+	if bs1 == bs2 && p1.S1 == p2.S1 && p1.S2 == p2.S2 {
+		return 100
+	}
+	switch {
+	case bs1 == bs2:
+		sc1 := scoreStrings(p1.S1, p2.S1, bs1, backend)
+		sc2 := scoreStrings(p1.S2, p2.S2, bs1*2, backend)
+		return max(sc1, sc2)
+	case bs1 == bs2*2:
+		return scoreStrings(p1.S1, p2.S2, bs1, backend)
+	default: // bs2 == bs1*2
+		return scoreStrings(p1.S2, p2.S1, bs2, backend)
+	}
+}
+
+// AppendGrams appends every GramSize-byte window of s, packed big-endian
+// into a uint64, to dst and returns the extended slice. Strings shorter than
+// GramSize contribute nothing.
+func AppendGrams(dst []uint64, s string) []uint64 {
+	if len(s) < GramSize {
+		return dst
+	}
+	var g uint64
+	for i := 0; i < GramSize-1; i++ {
+		g = g<<8 | uint64(s[i])
+	}
+	for i := GramSize - 1; i < len(s); i++ {
+		g = (g<<8 | uint64(s[i])) & gramMask
+		dst = append(dst, g)
+	}
+	return dst
+}
+
+// CandidateSet collects the deduplicated candidate ids of one query across
+// any number of Index probes. It is reusable scratch: Reset starts a new
+// query without reallocating (an epoch counter makes clearing O(1)), so a
+// pooled CandidateSet gives allocation-free candidate collection in steady
+// state. A CandidateSet must not be used concurrently.
+type CandidateSet struct {
+	// IDs are the candidates collected since the last Reset, in probe order
+	// (not sorted), each id at most once.
+	IDs []int32
+
+	marks []uint32
+	epoch uint32
+	grams []uint64
+}
+
+// Reset prepares the set for a query over an id space of size n
+// (ids 0..n-1).
+func (cs *CandidateSet) Reset(n int) {
+	if cap(cs.marks) < n {
+		cs.marks = make([]uint32, n)
+		cs.epoch = 0
+	}
+	cs.marks = cs.marks[:n]
+	cs.epoch++
+	if cs.epoch == 0 { // epoch wrapped: stale marks could alias, clear once
+		clear(cs.marks)
+		cs.epoch = 1
+	}
+	cs.IDs = cs.IDs[:0]
+}
+
+func (cs *CandidateSet) add(id int32) {
+	if cs.marks[id] != cs.epoch {
+		cs.marks[id] = cs.epoch
+		cs.IDs = append(cs.IDs, id)
+	}
+}
+
+// Index is the candidate-pruning index over one digest population. Entries
+// are identified by caller-assigned ids (dense, starting at 0 — they size
+// the CandidateSet mark table); Add must be called with nondecreasing ids.
+// An Index is immutable once populated and safe for concurrent Candidates
+// calls; Add must not race with Candidates.
+type Index struct {
+	buckets map[uint32]*indexBucket
+	exact   map[exactKey][]int32
+}
+
+// indexBucket holds one block size's inverted gram postings, one map per
+// signature slot.
+type indexBucket struct {
+	s1 map[uint64][]int32 // grams of clamped Sig1 → ids
+	s2 map[uint64][]int32 // grams of clamped Sig2 → ids
+}
+
+type exactKey struct {
+	bs     uint32
+	s1, s2 string
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		buckets: make(map[uint32]*indexBucket),
+		exact:   make(map[exactKey][]int32),
+	}
+}
+
+// Add posts a prepared digest under id. Ids must be nondecreasing across
+// calls (posting lists stay sorted and deduplicated by construction).
+func (ix *Index) Add(id int32, p PreparedDigest) {
+	b := ix.buckets[p.BlockSize]
+	if b == nil {
+		b = &indexBucket{s1: make(map[uint64][]int32), s2: make(map[uint64][]int32)}
+		ix.buckets[p.BlockSize] = b
+	}
+	addGrams(b.s1, id, p.S1)
+	addGrams(b.s2, id, p.S2)
+	k := exactKey{bs: p.BlockSize, s1: p.S1, s2: p.S2}
+	ix.exact[k] = append(ix.exact[k], id)
+}
+
+func addGrams(m map[uint64][]int32, id int32, s string) {
+	if len(s) < GramSize {
+		return
+	}
+	var g uint64
+	for i := 0; i < GramSize-1; i++ {
+		g = g<<8 | uint64(s[i])
+	}
+	for i := GramSize - 1; i < len(s); i++ {
+		g = (g<<8 | uint64(s[i])) & gramMask
+		if l := m[g]; len(l) == 0 || l[len(l)-1] != id {
+			m[g] = append(m[g], id)
+		}
+	}
+}
+
+// Candidates adds to set every entry that could score nonzero against q:
+// the exact-signature matches at q's block size, plus every entry of a
+// comparable bucket sharing at least one gram with the signature q would be
+// compared against. The comparability arithmetic mirrors ComparePrepared's
+// uint32 semantics exactly, including wrap-around doubles.
+func (ix *Index) Candidates(q PreparedDigest, set *CandidateSet) {
+	for _, id := range ix.exact[exactKey{bs: q.BlockSize, s1: q.S1, s2: q.S2}] {
+		set.add(id)
+	}
+	// Query Sig1 is compared against Sig1 of equal-block-size entries and
+	// against Sig2 of entries whose block size doubles to the query's.
+	grams := AppendGrams(set.grams[:0], q.S1)
+	if b := ix.buckets[q.BlockSize]; b != nil {
+		probeGrams(b.s1, grams, set)
+	}
+	if q.BlockSize%2 == 0 {
+		// e.BlockSize*2 == q.BlockSize in uint32 arithmetic has two
+		// solutions: q/2 and q/2 + 2³¹ (the doubling wraps).
+		for _, hb := range [2]uint32{q.BlockSize / 2, q.BlockSize/2 + 1<<31} {
+			if b := ix.buckets[hb]; b != nil {
+				probeGrams(b.s2, grams, set)
+			}
+		}
+	}
+	// Query Sig2 is compared against Sig2 at equal block size and against
+	// Sig1 of double-block-size entries (uint32 wrap included).
+	grams = AppendGrams(grams[:0], q.S2)
+	if b := ix.buckets[q.BlockSize]; b != nil {
+		probeGrams(b.s2, grams, set)
+	}
+	if b := ix.buckets[q.BlockSize*2]; b != nil {
+		probeGrams(b.s1, grams, set)
+	}
+	set.grams = grams
+}
+
+func probeGrams(m map[uint64][]int32, grams []uint64, set *CandidateSet) {
+	if len(m) == 0 {
+		return
+	}
+	for _, g := range grams {
+		for _, id := range m[g] {
+			set.add(id)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Tests of the shared candidate-pruning engine: prepared digests must score
+// exactly as parsed ones, and Index.Candidates must return a superset of
+// every entry scoring nonzero — the zero-score pruning guarantee both
+// Matcher and analysis.FingerprintIndex stand on.
+package ssdeep
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// randomDigestString synthesizes a parseable digest: block size from a
+// spread of real and adversarial values, signatures over the base64
+// alphabet, with occasional runs (to exercise the clamp) and occasional
+// short or empty signatures.
+func randomDigestString(rng *rand.Rand) string {
+	blockSizes := []uint32{3, 6, 48, 96, 192, 384, 768, 1536, 3072,
+		5,                                                     // odd, never produced by Hash: parseable nonetheless
+		1 << 31, 1<<31 + 3, 1<<31 + 96, 2<<30 - 1, 4294967295} // wrap-around territory
+	bs := blockSizes[rng.Intn(len(blockSizes))]
+	sig := func(maxLen int) string {
+		n := rng.Intn(maxLen + 1)
+		var b strings.Builder
+		for b.Len() < n {
+			c := base64Chars[rng.Intn(64)]
+			run := 1
+			if rng.Intn(8) == 0 { // sprinkle runs to hit eliminateSequences
+				run = 2 + rng.Intn(6)
+			}
+			for r := 0; r < run && b.Len() < n; r++ {
+				b.WriteByte(c)
+			}
+		}
+		return b.String()
+	}
+	return fmt.Sprintf("%d:%s:%s", bs, sig(spamsumLength), sig(spamsumLength/2))
+}
+
+// relatedDigests builds a family of digests sharing signature material, so
+// gram postings actually collide: a base plus mutated/truncated variants at
+// the same, half, and double block size.
+func relatedDigests(rng *rand.Rand, n int) []string {
+	base1 := make([]byte, spamsumLength)
+	base2 := make([]byte, spamsumLength/2)
+	for i := range base1 {
+		base1[i] = base64Chars[rng.Intn(64)]
+	}
+	for i := range base2 {
+		base2[i] = base64Chars[rng.Intn(64)]
+	}
+	bs := uint32(96 * (1 << rng.Intn(3)))
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		s1 := append([]byte(nil), base1...)
+		s2 := append([]byte(nil), base2...)
+		for m := rng.Intn(6); m >= 0; m-- {
+			s1[rng.Intn(len(s1))] = base64Chars[rng.Intn(64)]
+		}
+		for m := rng.Intn(3); m >= 0; m-- {
+			s2[rng.Intn(len(s2))] = base64Chars[rng.Intn(64)]
+		}
+		b := bs
+		switch rng.Intn(4) {
+		case 0:
+			b = bs * 2
+		case 1:
+			b = bs / 2
+		}
+		out = append(out, fmt.Sprintf("%d:%s:%s", b, s1[:1+rng.Intn(len(s1))], s2[:1+rng.Intn(len(s2))]))
+	}
+	return out
+}
+
+func TestComparePreparedMatchesCompareDigests(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	pop := relatedDigests(rng, 60)
+	for i := 0; i < 120; i++ {
+		pop = append(pop, randomDigestString(rng))
+	}
+	// Identical short-signature digests: the score-100 shortcut must fire
+	// without any shared 7-gram.
+	pop = append(pop, "3:ab:c", "3:ab:c", "3::", "96:abc:z")
+	backends := []Backend{BackendWeighted, BackendDamerau, BackendLevenshtein}
+	for i := range pop {
+		for j := range pop {
+			d1, err1 := ParseDigest(pop[i])
+			d2, err2 := ParseDigest(pop[j])
+			if err1 != nil || err2 != nil {
+				t.Fatalf("synthesized unparseable digest: %v %v", err1, err2)
+			}
+			p1, p2 := PrepareDigest(d1), PrepareDigest(d2)
+			for _, b := range backends {
+				want := CompareDigests(d1, d2, b)
+				if got := ComparePrepared(p1, p2, b); got != want {
+					t.Fatalf("ComparePrepared(%q, %q, %v) = %d, CompareDigests = %d",
+						pop[i], pop[j], b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAppendGrams(t *testing.T) {
+	if g := AppendGrams(nil, "abcdef"); len(g) != 0 {
+		t.Errorf("grams of 6-byte string = %v, want none", g)
+	}
+	g := AppendGrams(nil, "abcdefgh")
+	if len(g) != 2 {
+		t.Fatalf("grams of 8-byte string = %d, want 2", len(g))
+	}
+	pack := func(s string) uint64 {
+		var v uint64
+		for i := 0; i < len(s); i++ {
+			v = v<<8 | uint64(s[i])
+		}
+		return v
+	}
+	if g[0] != pack("abcdefg") || g[1] != pack("bcdefgh") {
+		t.Errorf("grams = %x, want packed windows", g)
+	}
+	// Appending reuses dst.
+	g2 := AppendGrams(g[:0], "abcdefg")
+	if len(g2) != 1 || g2[0] != pack("abcdefg") {
+		t.Errorf("reused dst grams = %x", g2)
+	}
+}
+
+// TestIndexCandidatesCoverNonzeroScores is the pruning-soundness property:
+// for a mixed population (related families, random digests, short and
+// adversarial block sizes) and arbitrary queries, every entry with a nonzero
+// ComparePrepared score must appear in Candidates' output.
+func TestIndexCandidatesCoverNonzeroScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var pop []string
+	pop = append(pop, relatedDigests(rng, 120)...)
+	for i := 0; i < 250; i++ {
+		pop = append(pop, randomDigestString(rng))
+	}
+	pop = append(pop, "3:ab:c", "3:ab:c", "3::", "6:abc:ab",
+		// Wrap-around pair: (3 + 2³¹) * 2 == 6 in uint32 arithmetic, so a
+		// query with block size 6 must probe this bucket too.
+		fmt.Sprintf("%d:%s:%s", uint32(3)+1<<31, "AAAABBBBCCCCDDDD", "kkkkllll"),
+	)
+
+	ix := NewIndex()
+	prepared := make([]PreparedDigest, len(pop))
+	for i, d := range pop {
+		p, err := ParsePrepared(d)
+		if err != nil {
+			t.Fatalf("ParsePrepared(%q): %v", d, err)
+		}
+		prepared[i] = p
+		ix.Add(int32(i), p)
+	}
+
+	queries := append([]string{}, pop[:80]...) // self-queries
+	queries = append(queries, relatedDigests(rng, 40)...)
+	for i := 0; i < 80; i++ {
+		queries = append(queries, randomDigestString(rng))
+	}
+	queries = append(queries, "3:ab:c", "6:abcdefghijklm:zz",
+		"6:kkkkllllXXXX:AAAABBBB") // sig2 sharing grams with the wrap entry's sig1
+
+	var set CandidateSet
+	for _, qs := range queries {
+		q, err := ParsePrepared(qs)
+		if err != nil {
+			t.Fatalf("ParsePrepared(%q): %v", qs, err)
+		}
+		set.Reset(len(pop))
+		ix.Candidates(q, &set)
+		if len(set.IDs) != len(uniqueIDs(set.IDs)) {
+			t.Fatalf("Candidates(%q) returned duplicate ids: %v", qs, set.IDs)
+		}
+		cand := make(map[int32]bool, len(set.IDs))
+		for _, id := range set.IDs {
+			cand[id] = true
+		}
+		for i := range prepared {
+			score := ComparePrepared(q, prepared[i], BackendWeighted)
+			if score > 0 && !cand[int32(i)] {
+				t.Fatalf("query %q scores %d against entry %d (%q) but the index did not return it",
+					qs, score, i, pop[i])
+			}
+		}
+	}
+}
+
+func uniqueIDs(ids []int32) []int32 {
+	s := slices.Clone(ids)
+	slices.Sort(s)
+	return slices.Compact(s)
+}
+
+// TestCandidateSetEpochReuse pins the O(1)-clear contract: reusing one set
+// across many queries never leaks candidates between queries, including
+// across a mark-table regrow.
+func TestCandidateSetEpochReuse(t *testing.T) {
+	ix := NewIndex()
+	p, err := ParsePrepared("96:AAAABBBBCCCCDDDDEEEE:AAAABBBBCC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Add(0, p)
+	var set CandidateSet
+	for i := 0; i < 5; i++ {
+		set.Reset(1)
+		ix.Candidates(p, &set)
+		if len(set.IDs) != 1 || set.IDs[0] != 0 {
+			t.Fatalf("round %d: IDs = %v, want [0]", i, set.IDs)
+		}
+	}
+	set.Reset(100) // regrow
+	ix.Candidates(p, &set)
+	if len(set.IDs) != 1 {
+		t.Fatalf("after regrow: IDs = %v", set.IDs)
+	}
+	other, err := ParsePrepared("3:zz:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.Reset(100)
+	ix.Candidates(other, &set)
+	if len(set.IDs) != 0 {
+		t.Fatalf("unrelated query leaked candidates: %v", set.IDs)
+	}
+}
+
+// TestMatcherMatchesExhaustive pins that the rebased Matcher returns exactly
+// the entries a brute-force scan over all registered digests would, for a
+// population spanning comparable and incomparable block sizes.
+func TestMatcherMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m := NewMatcher(BackendWeighted)
+	var pop []string
+	pop = append(pop, relatedDigests(rng, 80)...)
+	for i := 0; i < 120; i++ {
+		pop = append(pop, randomDigestString(rng))
+	}
+	for i, d := range pop {
+		if err := m.Add(fmt.Sprintf("e%03d", i), d); err != nil {
+			t.Fatalf("Add(%q): %v", d, err)
+		}
+	}
+	queries := append([]string{}, pop[:30]...)
+	queries = append(queries, relatedDigests(rng, 10)...)
+	for _, minScore := range []int{0, 1, 40, 100} {
+		for _, qs := range queries {
+			got, err := m.Matches(qs, minScore)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, _ := ParsePrepared(qs)
+			var want []Match
+			for i, d := range pop {
+				p, _ := ParsePrepared(d)
+				if score := ComparePrepared(q, p, BackendWeighted); score >= max(minScore, 1) {
+					want = append(want, Match{Label: fmt.Sprintf("e%03d", i), Digest: d, Score: score})
+				}
+			}
+			slices.SortFunc(want, func(a, b Match) int {
+				switch {
+				case a.Score != b.Score:
+					if a.Score > b.Score {
+						return -1
+					}
+					return 1
+				case a.Label != b.Label:
+					return strings.Compare(a.Label, b.Label)
+				}
+				return strings.Compare(a.Digest, b.Digest)
+			})
+			if !slices.Equal(got, want) {
+				t.Fatalf("Matches(%q, %d):\n got  %v\n want %v", qs, minScore, got, want)
+			}
+		}
+	}
+}

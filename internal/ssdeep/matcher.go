@@ -1,7 +1,7 @@
 package ssdeep
 
 import (
-	"sort"
+	"slices"
 	"sync"
 )
 
@@ -9,14 +9,14 @@ import (
 type Entry struct {
 	Label  string // free-form label, e.g. a software name
 	Digest string // canonical digest string
-	parsed Digest
+	parsed PreparedDigest
 }
 
 // Match is one similarity-search result.
 type Match struct {
 	Label  string
 	Digest string
-	Score  int // 0–100
+	Score  int // 1–100
 }
 
 // Matcher is an in-memory similarity-search index over labelled fuzzy
@@ -24,67 +24,92 @@ type Match struct {
 // executable by ranking its digest against all known ones. A Matcher is safe
 // for concurrent use.
 //
-// Candidate pruning uses the block-size comparability rule: a query digest
-// with block size b can only score nonzero against entries with block size
-// b/2, b, or 2b, so entries are bucketed by block size.
+// Matcher rides the shared Index engine: entries are bucketed by block size
+// (only b/2, b, and 2b can score nonzero against a query with block size b)
+// and gram-inverted within each bucket, so a query scores only the entries
+// that could possibly match instead of the whole population.
 type Matcher struct {
 	mu      sync.RWMutex
-	byBlock map[uint32][]Entry
+	entries []Entry
+	index   *Index
 	backend Backend
-	n       int
 }
+
+// candidatePool recycles CandidateSet scratch across queries, package-wide:
+// mark tables grow to the largest population queried and are then reused
+// allocation-free.
+var candidatePool = sync.Pool{New: func() any { return new(CandidateSet) }}
 
 // NewMatcher returns an empty Matcher scoring with the given backend.
 func NewMatcher(backend Backend) *Matcher {
-	return &Matcher{byBlock: make(map[uint32][]Entry), backend: backend}
+	return &Matcher{index: NewIndex(), backend: backend}
 }
 
 // Len reports the number of registered entries.
 func (m *Matcher) Len() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return m.n
+	return len(m.entries)
 }
 
 // Add registers a labelled digest. Malformed digests are rejected.
 func (m *Matcher) Add(label, digest string) error {
-	p, err := ParseDigest(digest)
+	p, err := ParsePrepared(digest)
 	if err != nil {
 		return err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.byBlock[p.BlockSize] = append(m.byBlock[p.BlockSize], Entry{Label: label, Digest: digest, parsed: p})
-	m.n++
+	id := int32(len(m.entries))
+	m.entries = append(m.entries, Entry{Label: label, Digest: digest, parsed: p})
+	m.index.Add(id, p)
 	return nil
 }
 
 // Matches returns every entry scoring at least minScore against the query
-// digest, sorted by descending score (ties broken by label for determinism).
+// digest, sorted by descending score (ties broken by label, then digest, for
+// determinism). A score of 0 means no measurable similarity, so zero-scoring
+// entries are never returned: minScore below 1 is treated as 1.
 func (m *Matcher) Matches(digest string, minScore int) ([]Match, error) {
-	q, err := ParseDigest(digest)
+	q, err := ParsePrepared(digest)
 	if err != nil {
 		return nil, err
 	}
+	minScore = max(minScore, 1)
+	set := candidatePool.Get().(*CandidateSet)
+	defer candidatePool.Put(set)
+
 	m.mu.RLock()
-	defer m.mu.RUnlock()
+	set.Reset(len(m.entries))
+	m.index.Candidates(q, set)
+	slices.Sort(set.IDs)
 	var out []Match
-	for _, bs := range comparableBlockSizes(q.BlockSize) {
-		for _, e := range m.byBlock[bs] {
-			score := CompareDigests(q, e.parsed, m.backend)
-			if score >= minScore {
-				out = append(out, Match{Label: e.Label, Digest: e.Digest, Score: score})
-			}
+	for _, id := range set.IDs {
+		e := &m.entries[id]
+		if score := ComparePrepared(q, e.parsed, m.backend); score >= minScore {
+			out = append(out, Match{Label: e.Label, Digest: e.Digest, Score: score})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	m.mu.RUnlock()
+
+	slices.SortFunc(out, func(a, b Match) int {
+		switch {
+		case a.Score != b.Score:
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
+		case a.Label != b.Label:
+			if a.Label < b.Label {
+				return -1
+			}
+			return 1
+		case a.Digest < b.Digest:
+			return -1
+		case a.Digest > b.Digest:
+			return 1
 		}
-		if out[i].Label != out[j].Label {
-			return out[i].Label < out[j].Label
-		}
-		return out[i].Digest < out[j].Digest
+		return 0
 	})
 	return out, nil
 }
@@ -97,12 +122,4 @@ func (m *Matcher) Best(digest string) (Match, bool, error) {
 		return Match{}, false, err
 	}
 	return ms[0], true, nil
-}
-
-func comparableBlockSizes(bs uint32) []uint32 {
-	sizes := []uint32{bs, bs * 2}
-	if bs/2 >= blockMin && bs%2 == 0 {
-		sizes = append(sizes, bs/2)
-	}
-	return sizes
 }

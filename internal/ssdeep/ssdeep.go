@@ -293,35 +293,14 @@ func CompareWith(d1, d2 string, backend Backend) (int, error) {
 // CompareDigests scores two parsed digests. Block sizes must be equal or one
 // must be double the other; otherwise the inputs were hashed at incomparable
 // granularities and the score is 0.
+//
+// The comparison first clamps runs of repeated characters in each signature
+// (eliminateSequences): long runs carry almost no information (a run arises
+// from a pathological input pattern) and would otherwise dominate the edit
+// distance. ComparePrepared is the same computation over digests with the
+// clamp already applied.
 func CompareDigests(p1, p2 Digest, backend Backend) int {
-	bs1, bs2 := p1.BlockSize, p2.BlockSize
-	if bs1 != bs2 && bs1 != bs2*2 && bs2 != bs1*2 {
-		return 0
-	}
-	// Clamp runs of repeated characters: long runs carry almost no
-	// information (a run arises from a pathological input pattern) and would
-	// otherwise dominate the edit distance.
-	s11 := eliminateSequences(p1.Sig1)
-	s12 := eliminateSequences(p1.Sig2)
-	s21 := eliminateSequences(p2.Sig1)
-	s22 := eliminateSequences(p2.Sig2)
-
-	if bs1 == bs2 && s11 == s21 && s12 == s22 {
-		return 100
-	}
-	switch {
-	case bs1 == bs2:
-		sc1 := scoreStrings(s11, s21, bs1, backend)
-		sc2 := scoreStrings(s12, s22, bs1*2, backend)
-		if sc2 > sc1 {
-			return sc2
-		}
-		return sc1
-	case bs1 == bs2*2:
-		return scoreStrings(s11, s22, bs1, backend)
-	default: // bs2 == bs1*2
-		return scoreStrings(s12, s21, bs2, backend)
-	}
+	return ComparePrepared(PrepareDigest(p1), PrepareDigest(p2), backend)
 }
 
 // scoreStrings maps the edit distance between two same-block-size signatures
@@ -355,14 +334,22 @@ func scoreStrings(s1, s2 string, bs uint32, backend Backend) int {
 }
 
 // eliminateSequences truncates runs of more than three identical characters
-// to exactly three, per the reference comparison pre-pass.
+// to exactly three, per the reference comparison pre-pass. The input is
+// returned unchanged (no copy) when it contains no such run — the common
+// case for real digests.
 func eliminateSequences(s string) string {
-	if len(s) < 4 {
+	i := 3
+	for ; i < len(s); i++ {
+		if s[i] == s[i-1] && s[i] == s[i-2] && s[i] == s[i-3] {
+			break
+		}
+	}
+	if i >= len(s) {
 		return s
 	}
-	out := make([]byte, 0, len(s))
-	out = append(out, s[0], s[1], s[2])
-	for i := 3; i < len(s); i++ {
+	out := make([]byte, i, len(s))
+	copy(out, s)
+	for ; i < len(s); i++ {
 		if s[i] == s[i-1] && s[i] == s[i-2] && s[i] == s[i-3] {
 			continue
 		}
