@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet fmt fmt-check lint staticcheck bench bench-smoke bench-store bench-read bench-serve bench-gate bench-gate-run bench-rebaseline test-replay test-cluster test-serve ci
+.PHONY: build test test-race vet fmt fmt-check lint staticcheck sirenlint fuzz-smoke bench bench-smoke bench-store bench-read bench-serve bench-gate bench-gate-run bench-rebaseline test-replay test-cluster test-serve ci
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,23 @@ staticcheck:
 		echo "staticcheck $(STATICCHECK_VERSION) unavailable (offline, cold module cache): skipping"; \
 	fi
 
-lint: vet fmt-check staticcheck
+# The project's own analyzer (cmd/sirenlint): type-checks the whole module
+# and enforces the concurrency/durability/serving contracts of DESIGN.md §10.
+# Exit 1 means an unsuppressed finding; fix it or add a reasoned
+# `//lint:ignore <rule> <why>` on the offending line.
+sirenlint:
+	$(GO) run ./cmd/sirenlint .
+
+lint: vet fmt-check staticcheck sirenlint
+
+# 10 seconds of coverage-guided fuzzing per target — enough to replay the
+# checked-in seeds (including the hostile-TOT reassembly datagram) plus a
+# short randomized excursion, cheap enough for every CI push. Go allows one
+# -fuzz pattern per invocation, hence three runs.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz='^FuzzWireParse$$' -fuzztime=10s ./internal/wire
+	$(GO) test -run=NONE -fuzz='^FuzzReassemble$$' -fuzztime=10s ./internal/wire
+	$(GO) test -run=NONE -fuzz='^FuzzParseDigest$$' -fuzztime=10s ./internal/ssdeep
 
 # Full benchmark suite (regenerates the evaluation tables alongside timings).
 bench:
@@ -127,7 +143,7 @@ bench-rebaseline: bench-gate-run
 	$(GO) run ./cmd/benchdiff -write -out $(BENCH_BASELINE) $(BENCH_GATE_OUT)
 
 # Everything the three CI jobs run (test, e2e, bench), serially.
-ci: build vet fmt-check staticcheck test-race test-cluster test-serve bench-smoke
+ci: build vet fmt-check staticcheck sirenlint test-race test-cluster test-serve fuzz-smoke bench-smoke
 	$(MAKE) bench-read BENCHTIME=1x
 	$(MAKE) bench-serve BENCHTIME=1x
 	$(MAKE) bench-gate

@@ -55,7 +55,7 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }() // read-only input; nothing to lose
 		in = f
 	} else if len(args) > 1 {
 		fatalf("at most one input file (default stdin), got %v", args)

@@ -26,6 +26,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -49,7 +50,7 @@ func main() {
 // run owns the process lifecycle so the deferred set close — which releases
 // every member's advisory lock — fires on error paths too. The old main
 // called os.Exit from a fatal() helper, which skipped deferred closes.
-func run() error {
+func run() (err error) {
 	dbSpec := flag.String("db", "siren.wal", "WAL file(s) to analyse: comma-separated base paths, each optionally a glob")
 	csvTable := flag.String("csv", "", "emit one table as CSV instead of the full report (table2|table3|table5|table8)")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON (the /api/v1/report shape)")
@@ -66,7 +67,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer set.Close()
+	defer func() { err = errors.Join(err, set.Close()) }()
 	// Streaming, shard-parallel consolidation over the merged snapshot
 	// cursor: member databases (one per receiver partition) and their WAL
 	// shards are grouped per job without ever materialising the whole

@@ -39,7 +39,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer pipeline.Close()
+	// fatal() exits without running defers, so this only fires on the
+	// success path — where a failing close (unflushed UDP stats, WAL close
+	// error in the in-process store) must not be silent.
+	defer func() {
+		if cerr := pipeline.Close(); cerr != nil {
+			fatal(cerr)
+		}
+	}()
 
 	res, err := pipeline.RunCampaign(campaign.Config{Scale: *scale, Seed: *seed, Workers: *workers})
 	if err != nil {

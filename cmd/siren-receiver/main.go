@@ -97,7 +97,7 @@ func parsePartition(spec string) (k, n int, err error) {
 // error paths too. The old main called os.Exit from a fatal() helper, which
 // skipped deferred closes: a ListenUDP failure after a successful open
 // leaked the group-commit syncers and bypassed the final WAL fsync.
-func run() error {
+func run() (err error) {
 	addr := flag.String("addr", "127.0.0.1:8787", "UDP listen address (loopback by default; bind 0.0.0.0 to accept remote collectors)")
 	dbPath := flag.String("db", "siren.wal", "WAL file for the message store")
 	partSpec := flag.String("partition", "", "admit only partition k of N as \"k/N\" (e.g. 0/3); empty = admit everything")
@@ -131,7 +131,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer db.Close()
+	// Backstop for early-return paths; Close is idempotent, so the happy
+	// path's explicit shutdown below makes this a no-op. A failed WAL close
+	// here is lost durability and must surface in run's error.
+	defer func() { err = errors.Join(err, db.Close()) }()
 	rcv := receiver.New(db, receiver.Options{
 		Depth:      *depth,
 		BatchMax:   *batch,
@@ -141,7 +144,7 @@ func run() error {
 		Partition:  partition,
 		Partitions: partitions,
 	})
-	defer rcv.Close()
+	defer func() { err = errors.Join(err, rcv.Close()) }()
 	bound, err := rcv.ListenUDP(*addr)
 	if err != nil {
 		return err

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -47,7 +48,7 @@ func main() {
 	}
 }
 
-func scanOne(path, sendAddr string) error {
+func scanOne(path, sendAddr string) (err error) {
 	img, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -76,7 +77,7 @@ func scanOne(path, sendAddr string) error {
 	if err != nil {
 		return err
 	}
-	defer tr.Close()
+	defer func() { err = errors.Join(err, tr.Close()) }()
 	hdr := wire.Header{
 		JobID: os.Getenv("SLURM_JOB_ID"), StepID: os.Getenv("SLURM_STEP_ID"),
 		PID: os.Getpid(), Hash: xxhash.Hash128String(path).Hex(),

@@ -33,6 +33,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -55,7 +56,7 @@ func main() {
 
 // run owns the process lifecycle so the deferred closes — the member locks,
 // the listener drain — fire on error paths too.
-func run() error {
+func run() (err error) {
 	dbSpec := flag.String("db", "siren.wal", "WAL file(s) to serve: comma-separated base paths, each optionally a glob")
 	addr := flag.String("addr", "127.0.0.1:8899", "HTTP listen address of the query API")
 	refreshEvery := flag.Duration("refresh-interval", 0, "period of catalog re-capture (0 = off; a locked set cannot change)")
@@ -70,7 +71,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer set.Close()
+	// Backstop for early-return paths; Close is idempotent, so the explicit
+	// close at the end of the drain sequence makes this a no-op. A failing
+	// member close must surface in run's error, not vanish.
+	defer func() { err = errors.Join(err, set.Close()) }()
 
 	cat := catalog.New(catalog.SetSource(set), catalog.Options{Workers: *workers})
 	rs := cat.Refresh()

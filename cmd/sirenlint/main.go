@@ -1,0 +1,146 @@
+// Command sirenlint runs SIREN's project-invariant analyzers over the
+// module (DESIGN.md §10): the concurrency, durability, and serving
+// contracts the design document states in prose, machine-checked on every
+// build. Exit status 0 means zero unsuppressed findings.
+//
+// Usage:
+//
+//	sirenlint [-json] [-rules a,b,...] [-list] [module-dir]
+//
+// With no directory argument the module rooted at the current directory is
+// analyzed. -rules restricts the run to a comma-separated subset; -list
+// prints the registered rules. -json emits the machine-readable report on
+// stdout for tooling.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"siren/internal/lintkit"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonReport is the -json output shape; a stable contract for tooling.
+type jsonReport struct {
+	Module      string           `json:"module"`
+	Rules       []string         `json:"rules"`
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	Suppressed  int              `json:"suppressed"`
+}
+
+type jsonDiagnostic struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sirenlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON on stdout")
+	rulesFlag := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "list registered rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, r := range lintkit.AllRules() {
+			fmt.Fprintf(stdout, "%-14s %s\n", r.Name(), r.Doc())
+		}
+		return 0
+	}
+
+	rules, err := selectRules(*rulesFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "sirenlint:", err)
+		return 2
+	}
+
+	dir := "."
+	if fs.NArg() > 0 {
+		dir = fs.Arg(0)
+	}
+	mod, err := lintkit.LoadModule(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "sirenlint:", err)
+		return 2
+	}
+
+	res := lintkit.Run(mod, rules)
+
+	if *jsonOut {
+		rep := jsonReport{
+			Module:      mod.Path,
+			Diagnostics: []jsonDiagnostic{}, // never null in output
+			Suppressed:  len(res.Suppressed),
+		}
+		for _, r := range rules {
+			rep.Rules = append(rep.Rules, r.Name())
+		}
+		for _, d := range res.Diagnostics {
+			rep.Diagnostics = append(rep.Diagnostics, jsonDiagnostic{
+				Rule:    d.Rule,
+				File:    d.Pos.Filename,
+				Line:    d.Pos.Line,
+				Column:  d.Pos.Column,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "sirenlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Fprintln(stdout, d)
+		}
+		if n := len(res.Suppressed); n > 0 {
+			fmt.Fprintf(stdout, "sirenlint: %d finding(s) suppressed by //lint:ignore\n", n)
+		}
+	}
+
+	if len(res.Diagnostics) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func selectRules(spec string) ([]lintkit.Rule, error) {
+	all := lintkit.AllRules()
+	if spec == "" {
+		return all, nil
+	}
+	byName := make(map[string]lintkit.Rule, len(all))
+	for _, r := range all {
+		byName[r.Name()] = r
+	}
+	var rules []lintkit.Rule
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		r, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (use -list)", name)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("no rules selected")
+	}
+	return rules, nil
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixtureMod = "testdata/mod"
+
+func TestRunFindsAndReports(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{fixtureMod}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (one unsuppressed finding); stderr: %s", code, errb.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "[walltime]") {
+		t.Errorf("output missing [walltime] finding:\n%s", text)
+	}
+	if !strings.Contains(text, filepath.Join("analysis", "a.go")+":10:") {
+		t.Errorf("output missing file:line position for the unsuppressed call:\n%s", text)
+	}
+	if !strings.Contains(text, "1 finding(s) suppressed") {
+		t.Errorf("output missing suppression note:\n%s", text)
+	}
+}
+
+// TestJSONShape pins the -json contract: module, rules, diagnostics with
+// rule/file/line/column/message, and the suppressed count.
+func TestJSONShape(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", fixtureMod}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+
+	var rep struct {
+		Module      string   `json:"module"`
+		Rules       []string `json:"rules"`
+		Diagnostics []struct {
+			Rule    string `json:"rule"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Column  int    `json:"column"`
+			Message string `json:"message"`
+		} `json:"diagnostics"`
+		Suppressed int `json:"suppressed"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output does not decode: %v\n%s", err, out.String())
+	}
+	if rep.Module != "fixmod" {
+		t.Errorf("module = %q, want fixmod", rep.Module)
+	}
+	if len(rep.Rules) < 6 {
+		t.Errorf("rules = %v, want all six by default", rep.Rules)
+	}
+	if len(rep.Diagnostics) != 1 {
+		t.Fatalf("diagnostics = %d, want 1", len(rep.Diagnostics))
+	}
+	d := rep.Diagnostics[0]
+	if d.Rule != "walltime" || d.Line != 10 || d.Column == 0 || d.Message == "" ||
+		!strings.HasSuffix(d.File, filepath.Join("analysis", "a.go")) {
+		t.Errorf("diagnostic = %+v, want walltime at analysis/a.go:10 with message", d)
+	}
+	if rep.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", rep.Suppressed)
+	}
+}
+
+// TestJSONCleanRun pins the zero-finding shape: diagnostics is an empty
+// array (not null) and the exit status is 0 when only suppressed findings
+// remain.
+func TestJSONCleanRun(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-rules", "errsink", fixtureMod}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), `"diagnostics": []`) {
+		t.Errorf("clean run must emit an empty diagnostics array, got:\n%s", out.String())
+	}
+	var rep struct {
+		Rules []string `json:"rules"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rules) != 1 || rep.Rules[0] != "errsink" {
+		t.Errorf("rules = %v, want [errsink]", rep.Rules)
+	}
+}
+
+func TestRuleSelection(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules", "nosuchrule", fixtureMod}, &out, &errb); code != 2 {
+		t.Errorf("unknown rule: exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown rule") {
+		t.Errorf("stderr = %q, want unknown-rule error", errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-rules", "walltime", fixtureMod}, &out, &errb); code != 1 {
+		t.Errorf("walltime only: exit = %d, want 1", code)
+	}
+}
+
+func TestListRules(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, name := range []string{"mutexscope", "snapshotmut", "nodefaultmux", "errsink", "goroleak", "walltime"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing rule %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestBadModuleDir(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"testdata"}, &out, &errb); code != 2 {
+		t.Errorf("non-module dir: exit = %d, want 2", code)
+	}
+}

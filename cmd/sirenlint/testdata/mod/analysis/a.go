@@ -1,0 +1,12 @@
+// Fixture module for the CLI tests: one unsuppressed walltime finding, one
+// suppressed.
+package analysis
+
+import "time"
+
+func Stamp() int64 {
+	//lint:ignore walltime ingestion timestamp, deliberately wall-clock
+	a := time.Now().Unix()
+	b := time.Now().Unix()
+	return a + b
+}

@@ -1,0 +1,350 @@
+// Module loading: the whole repository parsed and type-checked with nothing
+// but the standard library.
+//
+// The loader walks the module tree, parses every buildable non-test file,
+// topologically sorts the packages along their intra-module import edges,
+// and type-checks them in order. Imports outside the module (the standard
+// library) resolve through go/importer's "source" importer, which
+// type-checks GOROOT packages from source — no export data, no go/packages,
+// no x/tools, so the module keeps its zero-dependency contract while rules
+// still see full types.Info.
+//
+// Test files are deliberately excluded: the invariants the rules encode
+// (lock discipline, durability error paths, snapshot immutability) bind
+// production code; tests routinely and legitimately violate them (bare
+// Closes on fixtures, wall-clock deadlines, fire-and-forget goroutines).
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Module is the loaded analysis unit: every buildable package of one Go
+// module, type-checked, in topological (dependency-first) order.
+type Module struct {
+	Root string // absolute filesystem root
+	Path string // module path from go.mod ("" for fixture trees)
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// skipDirs are directory names the go tool itself never descends into.
+var skipDirs = map[string]bool{"testdata": true, "vendor": true}
+
+// LoadModule loads the module rooted at dir (its go.mod names the module
+// path) — the entry point cmd/sirenlint uses.
+func LoadModule(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lintkit: %s is not a module root: %w", dir, err)
+	}
+	m := regexp.MustCompile(`(?m)^module\s+(\S+)`).FindSubmatch(data)
+	if m == nil {
+		return nil, fmt.Errorf("lintkit: no module line in %s/go.mod", dir)
+	}
+	return Load(abs, string(m[1]))
+}
+
+// Load loads every package under root, deriving import paths by joining
+// modPath with each package's directory relative to root. Fixture trees use
+// a synthetic modPath (the rule tests use "fix") so rules that scope by
+// import-path element see stable paths.
+func Load(root, modPath string) (*Module, error) {
+	mod := &Module{Root: root, Path: modPath, Fset: token.NewFileSet()}
+
+	type rawPkg struct {
+		importPath string
+		dir        string
+		files      []*ast.File
+		imports    map[string]bool
+	}
+	var raws []*rawPkg
+	byPath := make(map[string]*rawPkg)
+
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (skipDirs[name] || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := parseDir(mod.Fset, path)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = filepath.ToSlash(rel)
+			if modPath != "" {
+				importPath = modPath + "/" + importPath
+			}
+		}
+		rp := &rawPkg{importPath: importPath, dir: path, files: files, imports: make(map[string]bool)}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				p, _ := strconv.Unquote(imp.Path.Value)
+				rp.imports[p] = true
+			}
+		}
+		raws = append(raws, rp)
+		byPath[importPath] = rp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(raws, func(i, j int) bool { return raws[i].importPath < raws[j].importPath })
+
+	// Topological order along intra-module edges (imports outside the module
+	// resolve through the source importer and impose no ordering here).
+	order := make([]*rawPkg, 0, len(raws))
+	state := make(map[*rawPkg]int) // 0 unvisited, 1 in progress, 2 done
+	var visit func(rp *rawPkg) error
+	visit = func(rp *rawPkg) error {
+		switch state[rp] {
+		case 1:
+			return fmt.Errorf("lintkit: import cycle through %s", rp.importPath)
+		case 2:
+			return nil
+		}
+		state[rp] = 1
+		deps := make([]string, 0, len(rp.imports))
+		for p := range rp.imports {
+			deps = append(deps, p)
+		}
+		sort.Strings(deps)
+		for _, p := range deps {
+			if dep, ok := byPath[p]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[rp] = 2
+		order = append(order, rp)
+		return nil
+	}
+	for _, rp := range raws {
+		if err := visit(rp); err != nil {
+			return nil, err
+		}
+	}
+
+	imp := &chainImporter{
+		std:  importer.ForCompiler(mod.Fset, "source", nil),
+		pkgs: make(map[string]*types.Package),
+	}
+	for _, rp := range order {
+		pkg, info, err := check(mod.Fset, rp.importPath, rp.files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("lintkit: type-checking %s: %w", rp.importPath, err)
+		}
+		imp.pkgs[rp.importPath] = pkg
+		mod.Pkgs = append(mod.Pkgs, &Package{
+			ImportPath: rp.importPath,
+			Dir:        rp.dir,
+			Files:      rp.files,
+			Types:      pkg,
+			Info:       info,
+		})
+	}
+	return mod, nil
+}
+
+func check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// chainImporter resolves module-internal imports from the already-checked
+// set and everything else (the standard library) from GOROOT source.
+type chainImporter struct {
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.pkgs[path]; ok {
+		return p, nil
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return c.std.Import(path)
+}
+
+// parseDir parses the buildable non-test Go files of one directory,
+// returning nil when the directory holds no such files. Files are filtered
+// the way `go build` filters them: _test.go files, files whose names start
+// with "." or "_", files excluded by a GOOS/GOARCH filename suffix, and
+// files whose //go:build (or // +build) constraint evaluates false for the
+// running platform are all skipped.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !suffixMatches(name) {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lintkit: %w", err)
+		}
+		if !constraintsMatch(f) {
+			continue
+		}
+		// A directory can legally hold one package (plus its external test
+		// package, which we skip). Anything else is a layout error worth
+		// surfacing rather than mis-typechecking.
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("lintkit: %s holds two packages: %s and %s", dir, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// knownOS / knownArch mirror the go tool's implicit filename-constraint
+// vocabulary (a trailing _GOOS, _GOARCH, or _GOOS_GOARCH element).
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true, "linux": true,
+	"netbsd": true, "openbsd": true, "plan9": true, "solaris": true,
+	"wasip1": true, "windows": true,
+}
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true, "loong64": true,
+	"mips": true, "mips64": true, "mips64le": true, "mipsle": true,
+	"ppc64": true, "ppc64le": true, "riscv64": true, "s390x": true,
+	"wasm": true,
+}
+
+// unixOS is the set of GOOS values the "unix" build tag covers.
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// suffixMatches applies the implicit filename constraints to the running
+// platform (e.g. fdatasync_linux.go is skipped everywhere but linux).
+func suffixMatches(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	if len(parts) == 1 {
+		return true
+	}
+	last := parts[len(parts)-1]
+	if knownArch[last] {
+		if last != runtime.GOARCH {
+			return false
+		}
+		if len(parts) >= 3 && knownOS[parts[len(parts)-2]] {
+			return parts[len(parts)-2] == runtime.GOOS
+		}
+		return true
+	}
+	if knownOS[last] {
+		return last == runtime.GOOS
+	}
+	return true
+}
+
+// constraintsMatch evaluates a file's //go:build line for the running
+// platform. Tags: GOOS, GOARCH, "unix" on unix-like systems, and every
+// go1.N release tag; "cgo" and experiment tags are off (nothing in a
+// zero-dependency module needs them).
+func constraintsMatch(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // constraints live above the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			ok := expr.Eval(func(tag string) bool {
+				switch {
+				case tag == runtime.GOOS || tag == runtime.GOARCH:
+					return true
+				case tag == "unix":
+					return unixOS[runtime.GOOS]
+				case strings.HasPrefix(tag, "go1."):
+					return true // the running toolchain is current
+				}
+				return false
+			})
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}

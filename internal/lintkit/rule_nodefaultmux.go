@@ -1,0 +1,65 @@
+// Rule nodefaultmux: library packages keep their hands off process-global
+// HTTP and expvar state.
+//
+// The serving tier's coexistence contract (DESIGN.md §8, PR 5) is that
+// internal/server builds its own *http.ServeMux and its own unregistered
+// expvar.Map, so a host process — siren-receiver with -serve-addr, an
+// embedding test, a future replica binary — can mount it wherever it
+// wants and run two of them side by side. Registering on
+// http.DefaultServeMux or through expvar.Publish/New* from a library
+// package breaks that: second registration panics, and the global mux
+// becomes load-bearing behind the host's back. Only package main may make
+// process-global decisions.
+package lintkit
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+type noDefaultMux struct{}
+
+func (noDefaultMux) Name() string { return "nodefaultmux" }
+func (noDefaultMux) Doc() string {
+	return "forbid http.DefaultServeMux, http.Handle/HandleFunc, and global expvar registration outside package main"
+}
+
+func (noDefaultMux) Run(p *Pass) {
+	if isMainPkg(p.Pkg) || isExample(p.Pkg) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.ObjectOf(sel.Sel)
+			if v, ok := obj.(*types.Var); ok && v.Name() == "DefaultServeMux" &&
+				v.Pkg() != nil && v.Pkg().Path() == "net/http" {
+				p.Reportf(sel.Pos(),
+					"http.DefaultServeMux in library package %s: serve on a locally built mux so hosts control mounting",
+					p.Pkg.Types.Name())
+				return true
+			}
+			// Only the package-level functions are global registration;
+			// (*ServeMux).Handle on a locally built mux is exactly what the
+			// contract asks for, so require a nil receiver.
+			if fn, ok := obj.(*types.Func); ok && fn.Type().(*types.Signature).Recv() == nil && fn.Pkg() != nil {
+				name, pkg := fn.Name(), fn.Pkg().Path()
+				switch {
+				case pkg == "net/http" && (name == "Handle" || name == "HandleFunc"):
+					p.Reportf(sel.Pos(),
+						"http.%s registers on the global DefaultServeMux from library package %s: use a local *http.ServeMux",
+						name, p.Pkg.Types.Name())
+				case pkg == "expvar" && (name == "Publish" || name == "NewInt" ||
+					name == "NewFloat" || name == "NewMap" || name == "NewString"):
+					p.Reportf(sel.Pos(),
+						"expvar.%s registers a process-global metric from library package %s: keep an unregistered expvar.Map and let the host publish it",
+						name, p.Pkg.Types.Name())
+				}
+			}
+			return true
+		})
+	}
+}

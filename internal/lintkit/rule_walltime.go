@@ -1,0 +1,42 @@
+// Rule walltime: no wall-clock reads in the deterministic analysis tier.
+//
+// The identify equivalence oracles (DESIGN.md §9) compare indexed against
+// exhaustive results and replay recorded campaigns byte-for-byte; both
+// proofs assume analysis, editdist, and ssdeep are pure functions of their
+// inputs. A time.Now/Since/Until call in those packages makes results (or
+// tie-breaks, or pruning thresholds) depend on when the code ran, which
+// silently voids the oracles. Timing instrumentation belongs in callers or
+// benchmarks, not in the kernels.
+package lintkit
+
+import "go/ast"
+
+type wallTime struct{}
+
+func (wallTime) Name() string { return "walltime" }
+func (wallTime) Doc() string {
+	return "forbid time.Now/Since/Until in the deterministic analysis/editdist/ssdeep packages"
+}
+
+func (wallTime) Run(p *Pass) {
+	if !pathElems(p.Pkg, "analysis", "editdist", "ssdeep") {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.ObjectOf(sel.Sel)
+			for _, name := range []string{"Now", "Since", "Until"} {
+				if funcIn(obj, "time", name) {
+					p.Reportf(sel.Pos(),
+						"time.%s in deterministic package %s: analysis results must not depend on the wall clock",
+						name, p.Pkg.Types.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,118 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// modFromSource builds a minimal Module (no type info — directive handling
+// is purely syntactic) from one source file.
+func modFromSource(t *testing.T, src string) *Module {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Module{Fset: fset, Pkgs: []*Package{{ImportPath: "p", Files: []*ast.File{f}}}}
+}
+
+func TestDirectiveParsing(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:ignore walltime a documented reason
+	_ = 1
+	//lint:ignore walltime,errsink two rules one reason
+	_ = 2
+	//lint:ignore walltime
+	_ = 3
+	//lint:ignored walltime not our directive at all
+	_ = 4
+}
+`
+	mod := modFromSource(t, src)
+	dirs, bad := collectDirectives(mod)
+
+	if len(dirs) != 2 {
+		t.Fatalf("valid directives = %d, want 2", len(dirs))
+	}
+	if !dirs[0].rules["walltime"] || len(dirs[0].rules) != 1 {
+		t.Errorf("first directive rules = %v, want {walltime}", dirs[0].rules)
+	}
+	if !dirs[1].rules["walltime"] || !dirs[1].rules["errsink"] || len(dirs[1].rules) != 2 {
+		t.Errorf("second directive rules = %v, want {walltime, errsink}", dirs[1].rules)
+	}
+
+	// The reason-less directive is itself a finding; the //lint:ignored
+	// comment is not a directive and produces nothing.
+	if len(bad) != 1 {
+		t.Fatalf("malformed directives = %d, want 1 (the reason-less one)", len(bad))
+	}
+	if bad[0].Rule != "ignore" || !strings.Contains(bad[0].Message, "rule name and a reason") {
+		t.Errorf("malformed diagnostic = %v", bad[0])
+	}
+	if bad[0].Pos.Line != 8 {
+		t.Errorf("malformed diagnostic at line %d, want 8", bad[0].Pos.Line)
+	}
+}
+
+func TestSuppressionMatching(t *testing.T) {
+	dir := directive{file: "a.go", line: 10, rules: map[string]bool{"walltime": true}}
+	dirs := []directive{dir}
+
+	mk := func(file string, line int, rule string) Diagnostic {
+		d := Diagnostic{Rule: rule}
+		d.Pos.Filename = file
+		d.Pos.Line = line
+		return d
+	}
+
+	cases := []struct {
+		name string
+		d    Diagnostic
+		want bool
+	}{
+		{"own line", mk("a.go", 10, "walltime"), true},
+		{"next line", mk("a.go", 11, "walltime"), true},
+		{"two lines down", mk("a.go", 12, "walltime"), false},
+		{"line above", mk("a.go", 9, "walltime"), false},
+		{"wrong rule", mk("a.go", 11, "errsink"), false},
+		{"wrong file", mk("b.go", 11, "walltime"), false},
+	}
+	for _, c := range cases {
+		if got := suppressed(dirs, c.d); got != c.want {
+			t.Errorf("%s: suppressed = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestMalformedDirectiveSurfacesInRun proves a reason-less directive both
+// fails to suppress and surfaces as an unsuppressed "ignore" finding
+// through the full engine path.
+func TestMalformedDirectiveSurfacesInRun(t *testing.T) {
+	mod := loadFixture(t, "ignorebad")
+	res := Run(mod, ruleByName(t, "walltime"))
+
+	var sawIgnore, sawWalltime bool
+	for _, d := range res.Diagnostics {
+		switch d.Rule {
+		case "ignore":
+			sawIgnore = true
+		case "walltime":
+			sawWalltime = true
+		}
+	}
+	if !sawIgnore {
+		t.Error("reason-less directive did not surface as an ignore finding")
+	}
+	if !sawWalltime {
+		t.Error("reason-less directive wrongly suppressed the walltime finding")
+	}
+	if len(res.Suppressed) != 0 {
+		t.Errorf("suppressed = %d findings, want 0", len(res.Suppressed))
+	}
+}

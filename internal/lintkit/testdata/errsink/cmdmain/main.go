@@ -1,0 +1,14 @@
+// Fixture: errsink also covers commands — shutdown sequences in package
+// main are exactly where dropped Close errors hide data loss.
+package main
+
+import "os"
+
+func main() {
+	f, err := os.Open("x")
+	if err != nil {
+		return
+	}
+	defer f.Close() // want "error from Close discarded by defer"
+	f.Sync()        // want "error from Sync discarded"
+}

@@ -1,0 +1,16 @@
+// Fixture: errsink scopes to the durability packages and commands; other
+// library packages are free to drop Close errors on read-only handles.
+package other
+
+import "os"
+
+func Read(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // ok: not a durability package
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}

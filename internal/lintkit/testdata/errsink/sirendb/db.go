@@ -1,0 +1,52 @@
+// Fixture: errsink fires on discarded durability errors in store packages
+// and accepts the checked, joined, and explicitly discarded forms.
+package sirendb
+
+import (
+	"errors"
+	"os"
+)
+
+func fdatasync(f *os.File) error { return f.Sync() }
+
+type store struct{ f *os.File }
+
+// notify returns nothing: a Close with no error result is not a sink.
+type notifier struct{}
+
+func (notifier) Close() {}
+
+func bad(s *store) {
+	s.f.Close()    // want "error from Close discarded"
+	s.f.Sync()     // want "error from Sync discarded"
+	fdatasync(s.f) // want "error from fdatasync discarded"
+}
+
+func badDefer(s *store) {
+	defer s.f.Close() // want "error from Close discarded by defer"
+}
+
+func good(s *store) error {
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	return s.f.Close() // ok: returned
+}
+
+func goodJoin(s *store) (err error) {
+	defer func() { err = errors.Join(err, s.f.Close()) }() // ok: joined into the return
+	return fdatasync(s.f)
+}
+
+func goodExplicit(s *store, failed error) error {
+	if failed != nil {
+		_ = s.f.Close() // ok: visibly deliberate discard on an already-failing path
+		return failed
+	}
+	return s.f.Close()
+}
+
+func goodNoError() {
+	var n notifier
+	n.Close() // ok: no error result to drop
+}

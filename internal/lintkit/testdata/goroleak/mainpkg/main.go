@@ -1,0 +1,10 @@
+// Fixture: package main may start process-lifetime goroutines; the drain
+// discipline binds libraries.
+package main
+
+func work() {}
+
+func main() {
+	go work() // ok: main owns the process lifetime
+	select {}
+}

@@ -1,0 +1,66 @@
+// Fixture: goroleak flags fire-and-forget goroutines in library packages
+// and accepts every visible join shape the repo uses.
+package worker
+
+import (
+	"context"
+	"sync"
+)
+
+func compute() {}
+
+func bad() {
+	go func() { // want "goroutine started without a visible join"
+		compute()
+	}()
+}
+
+type plain struct{ n int }
+
+func (p *plain) loop() { compute() }
+
+func badMethod(p *plain) {
+	go p.loop() // want "goroutine started without a visible join"
+}
+
+func goodWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // ok: body references the WaitGroup
+		defer wg.Done()
+		compute()
+	}()
+	wg.Wait()
+}
+
+func goodChannelBody(done chan struct{}) {
+	go func() { // ok: body signals on a channel
+		compute()
+		close(done)
+	}()
+}
+
+func goodContextBody(ctx context.Context) {
+	go func() { // ok: body watches the context
+		<-ctx.Done()
+	}()
+}
+
+type server struct {
+	done chan struct{}
+}
+
+func (s *server) loop() { <-s.done }
+
+func (s *server) Start() {
+	go s.loop() // ok: receiver struct carries the done channel
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+func goodArg(ch chan int) {
+	go drain(ch) // ok: the join mechanism is passed in
+}

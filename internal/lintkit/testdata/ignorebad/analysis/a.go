@@ -1,0 +1,12 @@
+// Fixture: a //lint:ignore with no reason is itself a finding and
+// suppresses nothing. (Checked by TestMalformedDirectiveSurfacesInRun, not
+// by want comments: the engine reports on the directive's own line, which
+// a line-comment cannot also annotate.)
+package analysis
+
+import "time"
+
+func stamp() int64 {
+	//lint:ignore walltime
+	return time.Now().Unix()
+}

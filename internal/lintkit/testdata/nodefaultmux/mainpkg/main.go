@@ -1,0 +1,15 @@
+// Fixture: package main may make process-global decisions — that is the
+// whole point of the rule's scoping.
+package main
+
+import (
+	"expvar"
+	"net/http"
+)
+
+func main() {
+	http.Handle("/debug", http.NotFoundHandler())                             // ok: main owns the process
+	http.HandleFunc("/ping", func(w http.ResponseWriter, r *http.Request) {}) // ok
+	_ = expvar.NewMap("siren")                                                // ok
+	_ = http.DefaultServeMux                                                  // ok
+}

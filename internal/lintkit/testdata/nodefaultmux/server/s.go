@@ -1,0 +1,35 @@
+// Fixture: nodefaultmux fires on process-global HTTP/expvar registration
+// from a library package and accepts the local-mux / unregistered-map
+// pattern the serving tier actually uses.
+package server
+
+import (
+	"expvar"
+	"net/http"
+)
+
+var hits = new(expvar.Map) // ok: unregistered map, host decides whether to publish
+
+func Register(h http.Handler) {
+	http.Handle("/jobs", h)                                                   // want "http.Handle registers on the global DefaultServeMux"
+	http.HandleFunc("/ping", func(w http.ResponseWriter, r *http.Request) {}) // want "http.HandleFunc registers on the global DefaultServeMux"
+	_ = http.DefaultServeMux                                                  // want "http.DefaultServeMux in library package server"
+}
+
+func Metrics() {
+	_ = expvar.NewMap("siren")   // want "expvar.NewMap registers a process-global metric"
+	expvar.Publish("rows", hits) // want "expvar.Publish registers a process-global metric"
+}
+
+// Local registration is the contract: the host mounts this mux wherever it
+// wants, and two servers can coexist in one process.
+func Mux(h http.Handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/jobs", h)                                                   // ok: local mux method
+	mux.HandleFunc("/ping", func(w http.ResponseWriter, r *http.Request) {}) // ok: local mux method
+	hits.Add("mux", 1)
+	// expvar.Func is a type conversion, not a registration.
+	var f expvar.Var = expvar.Func(func() any { return 1 }) // ok
+	_ = f
+	return mux
+}

@@ -1,0 +1,20 @@
+// Fixture: //lint:ignore semantics, driven through the walltime rule.
+package analysis
+
+import "time"
+
+func stamps() int64 {
+	// Lead-comment form: the directive on the line above suppresses.
+	//lint:ignore walltime ingestion metadata timestamp, not an analysis result
+	a := time.Now().Unix()
+
+	b := time.Now().Unix() //lint:ignore walltime trailing-comment form covers its own line
+
+	// A directive naming some other rule suppresses nothing here.
+	//lint:ignore errsink wrong rule for this finding
+	c := time.Now().Unix() // want "time.Now in deterministic package analysis"
+
+	d := time.Now().Unix() // want "time.Now in deterministic package analysis"
+
+	return a + b + c + d
+}

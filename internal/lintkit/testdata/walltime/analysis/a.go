@@ -1,0 +1,20 @@
+// Fixture: walltime fires in analysis-tier packages.
+package analysis
+
+import "time"
+
+// Score is "analysis" work: it must be a pure function of its inputs.
+func Score(deadline time.Time) int64 {
+	start := time.Now()      // want "time.Now in deterministic package analysis"
+	_ = time.Since(start)    // want "time.Since in deterministic package analysis"
+	_ = time.Until(deadline) // want "time.Until in deterministic package analysis"
+
+	// Pure time-package use is fine: constructing and comparing instants
+	// handed in by the caller does not read the wall clock.
+	epoch := time.Unix(0, 0)
+	if deadline.After(epoch) {
+		return deadline.UnixNano()
+	}
+	var d time.Duration = 5 * time.Millisecond
+	return int64(d)
+}

@@ -1,0 +1,13 @@
+// Fixture: walltime stays out of non-analysis packages — instrumentation
+// and deadlines in the serving or ingest tiers are legitimate.
+package other
+
+import "time"
+
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start) // ok: not an analysis package
+}
+
+func Stamp() int64 {
+	return time.Now().UnixNano() // ok: not an analysis package
+}

@@ -19,7 +19,7 @@ func acquireLock(path string) (*os.File, error) {
 		return nil, fmt.Errorf("sirendb: opening lock file: %w", err)
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close()
+		_ = f.Close() // cleanup; the flock failure is the error to report
 		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
 			return nil, fmt.Errorf("%w (lock file %s)", ErrLocked, path)
 		}

@@ -46,7 +46,7 @@ func OpenSet(paths []string, opts Options) (*DBSet, error) {
 	for _, p := range paths {
 		db, err := OpenOptions(p, opts)
 		if err != nil {
-			set.Close()
+			_ = set.Close() // best-effort unwind of the already-opened members
 			return nil, fmt.Errorf("sirendb: opening set member %s: %w", p, err)
 		}
 		set.dbs = append(set.dbs, db)

@@ -133,10 +133,10 @@ func OpenOptions(path string, opts Options) (*DB, error) {
 	if err := db.openSegments(); err != nil {
 		for _, s := range db.shards {
 			if s.wal != nil {
-				s.wal.Close()
+				_ = s.wal.Close() // cleanup on a path already returning err
 			}
 		}
-		lf.Close()
+		_ = lf.Close() // ditto; the open error is what matters
 		return nil, err
 	}
 	if opts.SyncInterval > 0 {
@@ -266,7 +266,7 @@ func (db *DB) insertShard(s *shard, ms []wire.Message) error {
 			// acknowledged records.
 			if _, serr := s.wal.Seek(s.written, io.SeekStart); serr != nil {
 				db.recordSyncErr(fmt.Errorf("sirendb: WAL offset unrecoverable after failed write: %w", serr))
-				s.wal.Close()
+				_ = s.wal.Close() // shard is being poisoned; the write error wins
 				s.wal = nil
 			}
 			s.mu.Unlock()
@@ -572,7 +572,7 @@ func (db *DB) Compact() error {
 	discard := func() {
 		for i, f := range tmps {
 			if f != nil {
-				f.Close()
+				_ = f.Close() // abandoning the temp; the triggering error wins
 				os.Remove(segmentPath(db.path, i) + ".compact")
 			}
 		}
@@ -585,6 +585,7 @@ func (db *DB) Compact() error {
 		}
 		tmps[i], sizes[i] = f, size
 	}
+	//lint:ignore mutexscope compaction freezes the world by design: every shard is write-locked while the temp set is made durable
 	if err := fsyncDir(db.dir); err != nil {
 		discard()
 		return fmt.Errorf("sirendb: compact: %w", err)
@@ -628,13 +629,14 @@ func (db *DB) Compact() error {
 		s.wal = tmps[i] // the renamed inode; write offset is at its end
 		s.written = sizes[i]
 		s.synced.Store(sizes[i])
-		old.Close() // unlinked by the rename; nothing left to preserve
+		_ = old.Close() // unlinked by the rename; nothing left to preserve
 	}
 	// Crash ordering: the renames above atomically replace the segments,
 	// but the new directory entries are not durable until the directory
 	// itself is fsynced — without this, a crash right after compaction can
 	// present the old segments again (losing the rewrite) or, on some
 	// filesystems, neither file.
+	//lint:ignore mutexscope compaction freezes the world by design: the rename swap must be durable before any shard unfreezes
 	if err := fsyncDir(db.dir); err != nil {
 		return fmt.Errorf("sirendb: compact: %w", err)
 	}
@@ -662,7 +664,7 @@ func (db *DB) Compact() error {
 func (db *DB) compactRollForward(tmps []*os.File, err error) error {
 	for _, f := range tmps {
 		if f != nil {
-			f.Close()
+			_ = f.Close() // releasing handles on an already-poisoned path
 		}
 	}
 	db.recordSyncErr(fmt.Errorf("sirendb: compaction interrupted, reopen to complete: %w", err))

@@ -107,7 +107,7 @@ func writeSegmentSnapshot(path string, rows []row) (*os.File, int64, error) {
 		return nil, 0, err
 	}
 	fail := func(err error) (*os.File, int64, error) {
-		f.Close()
+		_ = f.Close() // abandoning the temp; the write error wins
 		os.Remove(path)
 		return nil, 0, err
 	}
@@ -146,12 +146,12 @@ func writeCompactMarker(base string, shards int) error {
 		return err
 	}
 	if _, err := fmt.Fprintf(f, "shards=%d\n", shards); err != nil {
-		f.Close()
+		_ = f.Close() // marker is being abandoned; the write error wins
 		os.Remove(marker)
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // ditto for a failed sync
 		os.Remove(marker)
 		return err
 	}
@@ -307,11 +307,11 @@ func (db *DB) openSegments() error {
 		}
 		validEnd, err := db.replaySegment(f, segPath, true, seen)
 		if err != nil {
-			f.Close()
+			_ = f.Close() // open is failing; the replay error wins
 			return err
 		}
 		if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
-			f.Close()
+			_ = f.Close() // open is failing; the seek error wins
 			return fmt.Errorf("sirendb: seeking %s: %w", segPath, err)
 		}
 		s.wal = f
@@ -331,7 +331,7 @@ func (db *DB) openSegments() error {
 			return fmt.Errorf("sirendb: opening %s: %w", sf.path, err)
 		}
 		_, err = db.replaySegment(f, sf.path, false, seen)
-		f.Close()
+		_ = f.Close() // read-only replay handle; nothing durable at stake
 		if err != nil {
 			return err
 		}
@@ -442,7 +442,7 @@ func (db *DB) migrateLegacy(segs []segmentFile) error {
 		return fmt.Errorf("sirendb: %w", err)
 	}
 	err = db.replayLegacy(f)
-	f.Close()
+	_ = f.Close() // read-only legacy file; nothing durable at stake
 	if err != nil {
 		return err
 	}

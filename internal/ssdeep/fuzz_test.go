@@ -1,0 +1,43 @@
+package ssdeep
+
+import "testing"
+
+// FuzzParseDigest: ParseDigest must never panic, and any digest it accepts
+// must render back (String) to a form that re-parses to the identical
+// digest — the property the catalog relies on when it stores digests as
+// strings and re-parses them at query time. Accepted digests must also be
+// comparable against themselves without error.
+func FuzzParseDigest(f *testing.F) {
+	f.Add("3:abc:def")
+	f.Add("3:ab:cd,somefile.bin")
+	f.Add("12288:hVd7PBXPa:hV")
+	f.Add("0:a:b")
+	f.Add("4294967296:a:b") // block size overflows uint32
+	f.Add(":missing:size")
+	f.Add("3:colons:in:sig2:tail")
+	f.Add("not a digest")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDigest(s)
+		if err != nil {
+			return
+		}
+		if d.BlockSize == 0 {
+			t.Fatalf("accepted digest %q with block size 0", s)
+		}
+		d2, err := ParseDigest(d.String())
+		if err != nil {
+			t.Fatalf("ParseDigest(%q).String() = %q does not re-parse: %v", s, d.String(), err)
+		}
+		if d2 != d {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", d, d2)
+		}
+		score, err := Compare(d.String(), d.String())
+		if err != nil {
+			t.Fatalf("self-compare of accepted digest %q failed: %v", d.String(), err)
+		}
+		if score < 0 || score > 100 {
+			t.Fatalf("self-compare score %d outside [0, 100]", score)
+		}
+	})
+}

@@ -6,9 +6,9 @@ import (
 	"testing"
 )
 
-// FuzzParse: Parse must never panic and must round-trip what Encode
+// FuzzWireParse: Parse must never panic and must round-trip what Encode
 // produced, no matter how datagrams are mutated in flight.
-func FuzzParse(f *testing.F) {
+func FuzzWireParse(f *testing.F) {
 	f.Add([]byte("SIREN1|JOBID=1|STEPID=0|PID=1|HASH=h|HOST=n|TIME=1|LAYER=SELF|TYPE=T|SEQ=0|TOT=1|CONTENT=x"))
 	f.Add([]byte("garbage"))
 	f.Add([]byte(""))
@@ -27,6 +27,62 @@ func FuzzParse(f *testing.F) {
 		}
 		if m2.Header != m.Header || !bytes.Equal(m2.Content, m.Content) {
 			t.Fatalf("round-trip mismatch: %+v vs %+v", m, m2)
+		}
+	})
+}
+
+// FuzzReassemble feeds Reassemble with parsed datagrams (one per line of the
+// fuzz input) plus a chunked-and-reversed version of the raw input, and
+// checks the structural invariants: no panic, content bounded by the sum of
+// chunk payloads, and Complete records reproducing the chunked content
+// exactly. The giant-TOT seed pins the hostile-Total fix — Reassemble must
+// walk the chunks that arrived, not the announced range, or this seed alone
+// costs two billion iterations.
+func FuzzReassemble(f *testing.F) {
+	f.Add([]byte("SIREN1|JOBID=1|STEPID=0|PID=1|HASH=h|HOST=n|TIME=1|LAYER=SELF|TYPE=T|SEQ=0|TOT=1|CONTENT=x"), uint8(16))
+	f.Add([]byte("SIREN1|JOBID=1|STEPID=0|PID=1|HASH=h|HOST=n|TIME=1|LAYER=SELF|TYPE=T|SEQ=0|TOT=2000000000|CONTENT=x"), uint8(0))
+	two := Encode(Message{Header: sampleHeader(), Content: []byte("first")})
+	two = append(two, '\n')
+	two = append(two, Encode(Message{Header: sampleHeader(), Content: []byte("second")})...)
+	f.Add(two, uint8(4))
+	f.Add([]byte("not a datagram\nat all"), uint8(255))
+	f.Fuzz(func(t *testing.T, data []byte, room uint8) {
+		// Arbitrary parsed datagrams, including Total mismatches and gaps.
+		var msgs []Message
+		var payload int
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			m, err := Parse(line)
+			if err != nil {
+				continue
+			}
+			msgs = append(msgs, m)
+			payload += len(m.Content)
+		}
+		for _, r := range Reassemble(msgs) {
+			if len(r.Content) > payload {
+				t.Fatalf("record content %d bytes exceeds %d bytes of chunk payload", len(r.Content), payload)
+			}
+			if r.Complete && r.Header.Total < 1 {
+				t.Fatalf("complete record with Total %d", r.Header.Total)
+			}
+		}
+
+		// Chunk/Reassemble round trip: chunks delivered in reverse order
+		// must reassemble to exactly one Complete record with the original
+		// content.
+		chunks := Chunk(sampleHeader(), data, 64+int(room))
+		for i, j := 0, len(chunks)-1; i < j; i, j = i+1, j-1 {
+			chunks[i], chunks[j] = chunks[j], chunks[i]
+		}
+		recs := Reassemble(chunks)
+		if len(recs) != 1 {
+			t.Fatalf("chunked input reassembled to %d records", len(recs))
+		}
+		if !recs[0].Complete {
+			t.Fatalf("lossless chunk delivery marked incomplete: %+v", recs[0].Header)
+		}
+		if !bytes.Equal(recs[0].Content, data) {
+			t.Fatalf("chunk round trip lost content: %d bytes in, %d bytes out", len(data), len(recs[0].Content))
 		}
 	})
 }
@@ -50,5 +106,25 @@ func TestParseSurvivesRandomMutations(t *testing.T) {
 		if _, err := Parse(Encode(m)); err != nil {
 			t.Fatalf("accepted datagram failed round trip: %q", mutated)
 		}
+	}
+}
+
+// TestReassembleHostileTotal pins the DoS fix outside the fuzzer: one valid
+// datagram announcing two billion chunks must reassemble in the time of one.
+func TestReassembleHostileTotal(t *testing.T) {
+	h := sampleHeader()
+	h.Seq, h.Total = 0, 2_000_000_000
+	recs := Reassemble([]Message{{Header: h, Content: []byte("x")}})
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Complete {
+		t.Fatal("1 of 2000000000 chunks marked Complete")
+	}
+	if string(recs[0].Content) != "x" {
+		t.Fatalf("partial content %q", recs[0].Content)
+	}
+	if recs[0].Header.Total != 2_000_000_000 {
+		t.Fatalf("Total rewritten to %d", recs[0].Header.Total)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -343,15 +344,21 @@ func Reassemble(msgs []Message) []Record {
 	for _, k := range keys {
 		g := groups[k]
 		g.header.Total = g.maxTotal
+		// Walk the chunks that actually arrived, in Seq order, never the
+		// announced range: a single datagram with TOT=2000000000 must not
+		// cost two billion map probes. The Seqs are distinct ints, so
+		// len == maxTotal with min 0 and max maxTotal-1 pigeonholes to
+		// exactly the full range [0, maxTotal).
+		seqs := make([]int, 0, len(g.chunks))
+		for s := range g.chunks {
+			seqs = append(seqs, s)
+		}
+		sort.Ints(seqs)
+		complete := !g.mismatch && len(seqs) == g.maxTotal &&
+			seqs[0] == 0 && seqs[len(seqs)-1] == g.maxTotal-1
 		var content []byte
-		complete := !g.mismatch
-		for i := 0; i < g.maxTotal; i++ {
-			chunk, ok := g.chunks[i]
-			if !ok {
-				complete = false
-				continue
-			}
-			content = append(content, chunk...)
+		for _, s := range seqs {
+			content = append(content, g.chunks[s]...)
 		}
 		out = append(out, Record{Header: g.header, Content: content, Complete: complete})
 	}
