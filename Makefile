@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet fmt fmt-check lint staticcheck sirenlint fuzz-smoke bench bench-smoke bench-store bench-read bench-serve bench-gate bench-gate-run bench-rebaseline test-replay test-cluster test-serve ci
+.PHONY: build test test-race vet fmt fmt-check lint staticcheck sirenlint fuzz-smoke bench bench-smoke bench-store bench-read bench-serve bench-gate bench-gate-run bench-rebaseline test-replay test-cluster test-serve test-failover ci
 
 build:
 	$(GO) build ./...
@@ -100,6 +100,14 @@ test-cluster:
 	$(GO) test -race -count=1 -run 'MultiReceiver|Partition|Merged|OpenSet' \
 		. ./internal/receiver ./internal/sirendb ./internal/postprocess ./internal/wire
 
+# Failover suite under the race detector (DESIGN.md §11): rendezvous
+# ownership and view convergence, confirm-probed death reporting, sender
+# journal-replay dispatch, merge-back overlap dedup, and the kill-one-of-N
+# UDP end-to-end run (SIGKILL a member mid-campaign, byte-compared reports).
+test-failover:
+	$(GO) test -race -count=1 -run 'Failover|Membership|Dedup|Prober|Dispatch|Backoff|Probe|Roster|Route|Health|Score|PartitionHashGolden' \
+		. ./internal/membership ./internal/campaign ./internal/receiver ./internal/sirendb ./internal/postprocess ./internal/wire
+
 # Serving-tier suite under the race detector: watermark deltas, incremental
 # catalog refresh vs full-rebuild equivalence, the generation-swap contract
 # under concurrent queries, every query endpoint, and the live
@@ -143,7 +151,7 @@ bench-rebaseline: bench-gate-run
 	$(GO) run ./cmd/benchdiff -write -out $(BENCH_BASELINE) $(BENCH_GATE_OUT)
 
 # Everything the three CI jobs run (test, e2e, bench), serially.
-ci: build vet fmt-check staticcheck sirenlint test-race test-cluster test-serve fuzz-smoke bench-smoke
+ci: build vet fmt-check staticcheck sirenlint test-race test-cluster test-failover test-serve fuzz-smoke bench-smoke
 	$(MAKE) bench-read BENCHTIME=1x
 	$(MAKE) bench-serve BENCHTIME=1x
 	$(MAKE) bench-gate

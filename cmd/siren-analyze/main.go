@@ -15,7 +15,10 @@
 // their base paths and deduplicated. Multiple members — the databases of an
 // N-receiver partitioned deployment — are analysed through one merged
 // snapshot, producing exactly the report a single receiver ingesting the
-// whole campaign would.
+// whole campaign would. Overlapping (JOBID, HOST) runs left by a receiver
+// failover (the dead member's recovered WAL vs. the replayed copy its keys'
+// new owners hold) are deduplicated before consolidation, so merging a
+// crashed member back in never double-counts its overlap window.
 //
 // -json emits the full report as machine-readable JSON in exactly the shape
 // the serving tier's /api/v1/report endpoint returns (report.JSONReport —
@@ -72,7 +75,16 @@ func run() (err error) {
 	// cursor: member databases (one per receiver partition) and their WAL
 	// shards are grouped per job without ever materialising the whole
 	// message set. A single -db path is the one-member degenerate case.
-	data, stats := analysis.ConsolidateDataset(set.Snapshot(), postprocess.StreamOptions{Workers: *workers})
+	snap := set.Snapshot()
+	if len(paths) > 1 {
+		// Failover merge-back (DESIGN.md §11): a receiver that died and
+		// recovered contributes a WAL whose runs are sub-multisets of the
+		// copies its keys' new owners hold. Suppress those before
+		// consolidating so overlap windows never double-count; disjoint
+		// static partitions dedup to nothing, so this is safe to always run.
+		snap.DedupOverlaps()
+	}
+	data, stats := analysis.ConsolidateDataset(snap, postprocess.StreamOptions{Workers: *workers})
 
 	if *audit {
 		runAudit(data)

@@ -6,10 +6,14 @@
 // Usage:
 //
 //	siren-campaign [-scale 0.02] [-seed 1] [-db siren.wal] [-udp] [-loss 0.0002] [-workers N]
+//	               [-send-retries R]
 //
 // -scale 1.0 regenerates the paper's full magnitudes (~2.3M processes;
 // allow a few minutes). -loss injects datagram loss to reproduce the
-// missing-fields observation (§3.1).
+// missing-fields observation (§3.1). -send-retries re-attempts failed
+// transport sends with jittered backoff (transient ENOBUFS bursts under
+// -udp) before counting the datagram lost, and prints the delivery
+// counters at the end.
 package main
 
 import (
@@ -29,9 +33,10 @@ func main() {
 	udp := flag.Bool("udp", false, "use a real loopback UDP socket instead of the in-process transport")
 	loss := flag.Float64("loss", 0, "datagram loss rate to inject (e.g. 0.0002)")
 	workers := flag.Int("workers", 0, "concurrent job executors (default GOMAXPROCS)")
+	sendRetries := flag.Int("send-retries", 0, "retries per failed transport send, with jittered backoff (0 disables)")
 	flag.Parse()
 
-	opts := core.Options{DBPath: *dbPath, LossRate: *loss, LossSeed: *seed}
+	opts := core.Options{DBPath: *dbPath, LossRate: *loss, LossSeed: *seed, SendRetries: *sendRetries}
 	if *udp {
 		opts.UDPAddr = "127.0.0.1:0"
 	}
@@ -55,9 +60,14 @@ func main() {
 	fmt.Printf("campaign: %d jobs, %d processes simulated (scale %g)\n",
 		res.JobsRun, res.ProcessesRun, *scale)
 	cs := res.Collector.Stats()
-	fmt.Printf("collector: seen=%d collected=%d rank-skipped=%d messages=%d failures=%d\n\n",
+	fmt.Printf("collector: seen=%d collected=%d rank-skipped=%d messages=%d failures=%d\n",
 		cs.ProcessesSeen.Load(), cs.ProcessesCollected.Load(), cs.ProcessesSkipped.Load(),
 		cs.MessagesSent.Load(), cs.Failures.Load())
+	if *sendRetries > 0 {
+		ss := pipeline.SendStats()
+		fmt.Printf("transport: sent=%d retries=%d send_errors=%d\n", ss.Sent, ss.Retries, ss.SendErrors)
+	}
+	fmt.Println()
 
 	data, stats, err := pipeline.Analyze()
 	if err != nil {

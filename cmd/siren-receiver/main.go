@@ -37,6 +37,23 @@
 // lands in its slice and counts the rest as rejected, so senders may spray
 // or broadcast across all N ports with no double-ingest. Analysis merges the
 // member databases back together: siren-analyze -db 'siren-0.wal,siren-1.wal,siren-2.wal'.
+//
+// Membership mode (DESIGN.md §11) replaces the static -partition slices with
+// a failover-capable roster:
+//
+//	siren-receiver -db siren-0.wal -member-id r0 \
+//	    -roster 'r0=127.0.0.1:8787@127.0.0.1:9787,r1=127.0.0.1:8788@127.0.0.1:9788,r2=127.0.0.1:8789@127.0.0.1:9789'
+//
+// Each process admits the keys it owns under rendezvous hashing over the
+// currently-live members, so when one receiver dies its keys reassign to
+// survivors with no operator action (admitted keys whose all-live owner was
+// the dead member are counted accepted_failover). -addr and -expvar-addr
+// default from the member's roster entry (UDP@health); the health side of
+// the stats mux serves /healthz (liveness + ingest-stall, see -health-stall),
+// GET /membership (the live view as JSON), and POST /membership/down?id=X
+// (confirm-probed death reports from senders). A background prober
+// (-probe-interval/-probe-timeout) also detects peer deaths directly.
+// -partition and membership mode are mutually exclusive.
 package main
 
 import (
@@ -56,6 +73,7 @@ import (
 	"time"
 
 	"siren/internal/catalog"
+	"siren/internal/membership"
 	"siren/internal/receiver"
 	"siren/internal/server"
 	"siren/internal/sirendb"
@@ -110,7 +128,12 @@ func run() (err error) {
 	syncEvery := flag.Duration("sync-interval", sirendb.DefaultSyncInterval,
 		"group-commit fsync latency bound (negative = fsync every batch)")
 	statsEvery := flag.Duration("stats-interval", 10*time.Second, "period of the stats log line (0 disables)")
-	expvarAddr := flag.String("expvar-addr", "", "HTTP listen address exporting receiver+store stats as expvar under /debug/vars (\"\" disables)")
+	expvarAddr := flag.String("expvar-addr", "", "HTTP listen address exporting receiver+store stats as expvar under /debug/vars (\"\" disables; defaults to the roster health address in membership mode)")
+	memberID := flag.String("member-id", "", "this receiver's ID in -roster (enables membership-table admission)")
+	rosterSpec := flag.String("roster", "", "campaign roster as \"id=udp@health,...\" (health optional); requires -member-id")
+	probeEvery := flag.Duration("probe-interval", time.Second, "period of background peer health probes in membership mode (<= 0 disables)")
+	probeTimeout := flag.Duration("probe-timeout", 500*time.Millisecond, "timeout of each peer health probe and of /membership/down confirm-probes")
+	healthStall := flag.Duration("health-stall", 0, "make /healthz report 503 if the UDP socket is open but no datagram arrived for this long (0 disables stall detection)")
 	serveAddr := flag.String("serve-addr", "", "HTTP listen address of the online recognition API over the live store (\"\" disables)")
 	refreshEvery := flag.Duration("refresh-interval", 5*time.Second, "period of incremental catalog refresh behind -serve-addr (<= 0 disables: the served catalog then never sees ingested rows)")
 	flag.Parse()
@@ -118,6 +141,38 @@ func run() (err error) {
 	partition, partitions, err := parsePartition(*partSpec)
 	if err != nil {
 		return err
+	}
+
+	// Membership mode: rendezvous admission over the roster's live members,
+	// replacing (not composing with) the static partition slice.
+	var view *membership.View
+	if (*memberID != "") != (*rosterSpec != "") {
+		return errors.New("-member-id and -roster must be set together")
+	}
+	if *rosterSpec != "" {
+		if partitions > 1 {
+			return errors.New("-partition and -roster are mutually exclusive: membership admission supersedes static slices")
+		}
+		table, err := membership.ParseRoster(*rosterSpec)
+		if err != nil {
+			return err
+		}
+		view, err = membership.NewView(table, *memberID)
+		if err != nil {
+			return err
+		}
+		// Default the listen addresses from this member's roster entry so the
+		// roster is the single source of truth for the deployment layout;
+		// explicit flags still win.
+		self := table.Member(view.SelfIndex())
+		setFlags := make(map[string]bool)
+		flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+		if !setFlags["addr"] {
+			*addr = self.UDPAddr
+		}
+		if !setFlags["expvar-addr"] && self.HealthAddr != "" {
+			*expvarAddr = self.HealthAddr
+		}
 	}
 
 	// Defaulting the store shards to the writer count keeps the writer→store
@@ -143,6 +198,7 @@ func run() (err error) {
 		ReadBuffer: *rcvbuf,
 		Partition:  partition,
 		Partitions: partitions,
+		View:       view,
 	})
 	defer func() { err = errors.Join(err, rcv.Close()) }()
 	bound, err := rcv.ListenUDP(*addr)
@@ -152,6 +208,9 @@ func run() (err error) {
 	slice := "all partitions"
 	if partitions > 1 {
 		slice = fmt.Sprintf("partition %d/%d", partition, partitions)
+	}
+	if view != nil {
+		slice = fmt.Sprintf("member %s of %d", *memberID, view.Table().Len())
 	}
 	fmt.Printf("siren-receiver: listening on %s (%s), storing to %s (%d shards, %d replayed rows, %d corrupt skipped)\n",
 		bound, slice, *dbPath, db.StoreShards(), db.Count(), db.CorruptRecords())
@@ -182,6 +241,14 @@ func run() (err error) {
 			w.Header().Set("Content-Type", "application/json; charset=utf-8")
 			io.WriteString(w, vars.String())
 		})
+		// Liveness + ingest-stall for balancers and the failover protocol's
+		// confirm-probes: any answer (even 503 stalled) means the process is
+		// alive; only a transport error reads as death.
+		mux.Handle("/healthz", rcv.HealthHandler(*healthStall))
+		if view != nil {
+			mux.Handle("/membership", view.StatusHandler())
+			mux.Handle("/membership/down", view.DownHandler(*probeTimeout))
+		}
 		hs := &http.Server{Handler: mux}
 		ln, err := net.Listen("tcp", *expvarAddr)
 		if err != nil {
@@ -198,6 +265,22 @@ func run() (err error) {
 				fmt.Fprintln(os.Stderr, "siren-receiver: expvar server:", err)
 			}
 		}()
+	}
+
+	// Peer failure detection: without it a receiver only learns of a death
+	// from sender /membership/down reports; broadcast campaigns have no
+	// sender-side dispatch, so the prober keeps admission converging anyway.
+	if view != nil && *probeEvery > 0 {
+		prober := &membership.Prober{
+			View:     view,
+			Interval: *probeEvery,
+			Timeout:  *probeTimeout,
+			OnDown: func(_ int, m membership.Member) {
+				fmt.Printf("siren-receiver: member %s (%s) marked down by health probe\n", m.ID, m.UDPAddr)
+			},
+		}
+		prober.Start()
+		defer prober.Stop()
 	}
 
 	// Online recognition over the live store: an incrementally refreshed

@@ -17,10 +17,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"siren/internal/analysis"
 	"siren/internal/campaign"
 	"siren/internal/collector"
+	"siren/internal/membership"
 	"siren/internal/postprocess"
 	"siren/internal/receiver"
 	"siren/internal/sirendb"
@@ -46,6 +48,11 @@ type Options struct {
 	// loss-tolerance experiments. Seeded by LossSeed.
 	LossRate float64
 	LossSeed int64
+	// SendRetries retries failed transport sends (ENOBUFS bursts, picked-up
+	// ECONNREFUSED) with jittered backoff instead of dropping the datagram
+	// on the first error, and surfaces what remains in SendStats. Applied
+	// inside any loss injection so LossRate still measures end-loss.
+	SendRetries int
 }
 
 // Pipeline owns the receiver side of a SIREN deployment plus the transport
@@ -54,7 +61,8 @@ type Pipeline struct {
 	db        *sirendb.DB
 	rcv       *receiver.Receiver
 	transport wire.Transport
-	chanTr    *wire.ChanTransport // nil in UDP mode
+	chanTr    *wire.ChanTransport        // nil in UDP mode
+	retryTr   *membership.RetryTransport // nil unless SendRetries > 0
 	closed    bool
 }
 
@@ -95,10 +103,29 @@ func NewPipeline(opts Options) (*Pipeline, error) {
 		p.transport = ch
 	}
 
+	if opts.SendRetries > 0 {
+		p.retryTr = &membership.RetryTransport{
+			T:       p.transport,
+			Retries: opts.SendRetries,
+			Backoff: membership.Backoff{Base: 5 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: 0.2},
+		}
+		p.transport = p.retryTr
+	}
 	if opts.LossRate > 0 {
+		// Loss wraps retry: injected drops model network loss past the
+		// sender, which no send-side retry can see or repair.
 		p.transport = wire.NewLossyTransport(p.transport, opts.LossRate, opts.LossSeed)
 	}
 	return p, nil
+}
+
+// SendStats reports the retrying sender's delivery counters; the zero value
+// when SendRetries is off.
+func (p *Pipeline) SendStats() membership.SendStats {
+	if p.retryTr == nil {
+		return membership.SendStats{}
+	}
+	return p.retryTr.Stats()
 }
 
 // Transport returns the sender-side transport (hand it to collectors).

@@ -1,0 +1,69 @@
+package membership
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes jittered, capped exponential retry delays. The zero value
+// is usable and returns zero delays (retry immediately); callers that want
+// pacing set Base (and usually Max). It is shared by the sender-side health
+// prober, the failover dispatcher, and RetryTransport so every retry loop in
+// the pipeline paces the same way.
+type Backoff struct {
+	// Base is the delay before the first retry; each further attempt doubles
+	// it. Base <= 0 disables delays entirely.
+	Base time.Duration
+	// Max caps the exponential growth. Max <= 0 means 16×Base.
+	Max time.Duration
+	// Jitter in [0, 1] spreads each delay uniformly over
+	// [d·(1−Jitter), d·(1+Jitter)] so a fleet of senders probing one dead
+	// member does not retry in lockstep. 0 = deterministic delays.
+	Jitter float64
+}
+
+// Delay returns the pause before retry attempt (0-based: attempt 0 is the
+// first retry).
+func (b Backoff) Delay(attempt int) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 16 * b.Base
+	}
+	d := b.Base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if b.Jitter > 0 {
+		j := b.Jitter
+		if j > 1 {
+			j = 1
+		}
+		// Uniform in [d·(1−j), d·(1+j)]. rand's global source is
+		// concurrency-safe; determinism is irrelevant here.
+		d = time.Duration(float64(d) * (1 - j + 2*j*rand.Float64()))
+	}
+	return d
+}
+
+// Sleep pauses for Delay(attempt), returning early (false) when stop closes.
+// A nil stop never aborts.
+func (b Backoff) Sleep(attempt int, stop <-chan struct{}) bool {
+	d := b.Delay(attempt)
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}

@@ -1,0 +1,107 @@
+package membership
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// MemberStatus is one roster row of the GET /membership response.
+type MemberStatus struct {
+	ID         string `json:"id"`
+	UDPAddr    string `json:"udp_addr"`
+	HealthAddr string `json:"health_addr,omitempty"`
+	Down       bool   `json:"down"`
+	Self       bool   `json:"self,omitempty"`
+}
+
+// Status snapshots the view as the GET /membership response body.
+func (v *View) Status() []MemberStatus {
+	out := make([]MemberStatus, v.t.Len())
+	for i := range out {
+		m := v.t.Member(i)
+		out[i] = MemberStatus{
+			ID:         m.ID,
+			UDPAddr:    m.UDPAddr,
+			HealthAddr: m.HealthAddr,
+			Down:       v.Down(i),
+			Self:       i == v.self,
+		}
+	}
+	return out
+}
+
+// StatusHandler serves GET /membership: the roster with each member's
+// live/down state under this process's view, as JSON.
+func (v *View) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v.Status())
+	})
+}
+
+// DownHandler serves POST /membership/down?id=<member>: a sender's report
+// that it found the named member dead (see ReportDown). The report is not
+// taken on faith — a confused or partitioned sender must not be able to
+// evict a healthy member — so the handler confirm-probes the named member
+// itself and only marks it down when its own probe also fails:
+//
+//	404  unknown member ID
+//	409  refused — the member answered this process's confirm-probe (or is
+//	     this process itself, or has no health address to disprove life)
+//	200  marked down (idempotent: already-down members answer 200 without
+//	     re-probing)
+//
+// Marking down before any failover traffic arrives is what closes the
+// admission race: the sender reports to every survivor first, then replays
+// the dead member's journal, so the new owners already accept the
+// reassigned keys (counted AcceptedFailover) when the first replayed
+// datagram lands.
+func (v *View) DownHandler(probeTimeout time.Duration) http.Handler {
+	if probeTimeout <= 0 {
+		probeTimeout = 500 * time.Millisecond
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			http.Error(w, "missing id parameter", http.StatusBadRequest)
+			return
+		}
+		i, ok := v.t.Index(id)
+		if !ok {
+			http.Error(w, "unknown member "+id, http.StatusNotFound)
+			return
+		}
+		if i == v.self {
+			http.Error(w, "refused: "+id+" is this process", http.StatusConflict)
+			return
+		}
+		if v.Down(i) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write([]byte("already down\n"))
+			return
+		}
+		m := v.t.Member(i)
+		if m.HealthAddr == "" {
+			http.Error(w, "refused: "+id+" has no health address to confirm against", http.StatusConflict)
+			return
+		}
+		if err := ProbeLive(m.HealthAddr, probeTimeout); err == nil {
+			http.Error(w, "refused: "+id+" answered a confirm-probe", http.StatusConflict)
+			return
+		}
+		v.MarkDownIndex(i)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("marked down\n"))
+	})
+}

@@ -1,0 +1,105 @@
+package membership
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestDownHandlerConfirmProbe drives the report-down protocol end to end:
+// a report against a member that still answers probes is refused (409), a
+// report against one whose health endpoint is gone is honored (200) and
+// marks the view, repeats are idempotent, and bad requests get 4xx.
+func TestDownHandlerConfirmProbe(t *testing.T) {
+	peerHealth := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	tbl, err := NewTable([]Member{
+		{ID: "self", UDPAddr: "127.0.0.1:1"},
+		{ID: "peer", UDPAddr: "127.0.0.1:2", HealthAddr: addrOf(t, peerHealth)},
+		{ID: "mute", UDPAddr: "127.0.0.1:3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewView(tbl, "self")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/membership", v.StatusHandler())
+	mux.Handle("/membership/down", v.DownHandler(500*time.Millisecond))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	self := addrOf(t, srv)
+
+	post := func(q string) int {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/membership/down"+q, "text/plain", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := post(""); code != http.StatusBadRequest {
+		t.Errorf("missing id: %d, want 400", code)
+	}
+	if code := post("?id=stranger"); code != http.StatusNotFound {
+		t.Errorf("unknown id: %d, want 404", code)
+	}
+	if code := post("?id=self"); code != http.StatusConflict {
+		t.Errorf("report against self: %d, want 409", code)
+	}
+	// A member with no health address can never be disproven alive.
+	if code := post("?id=mute"); code != http.StatusConflict {
+		t.Errorf("unprobable member: %d, want 409", code)
+	}
+	// peer still answers its health endpoint: the confirm-probe refutes the
+	// report.
+	if code := post("?id=peer"); code != http.StatusConflict {
+		t.Errorf("live peer: %d, want 409 (confirm-probe answered)", code)
+	}
+	if v.Down(1) {
+		t.Fatal("refused report still marked the member down")
+	}
+
+	// Kill the peer's health endpoint: now the report is confirmed.
+	peerHealth.Close()
+	if code := post("?id=peer"); code != http.StatusOK {
+		t.Errorf("dead peer: %d, want 200", code)
+	}
+	if !v.Down(1) {
+		t.Fatal("honored report did not mark the member down")
+	}
+	if code := post("?id=peer"); code != http.StatusOK {
+		t.Errorf("repeat report: %d, want idempotent 200", code)
+	}
+
+	// ReportDown (the client side) against this very handler agrees.
+	if err := ReportDown(self, "peer", time.Second); err != nil {
+		t.Fatalf("ReportDown(already-down peer): %v", err)
+	}
+	if err := ReportDown(self, "mute", time.Second); err == nil {
+		t.Fatal("ReportDown(unprobable member): want refusal error")
+	}
+
+	// GET /membership reflects the state.
+	resp, err := http.Get(srv.URL + "/membership")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status []MemberStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(status) != 3 || !status[1].Down || status[0].Down || !status[0].Self {
+		t.Fatalf("membership status = %+v", status)
+	}
+}

@@ -1,0 +1,67 @@
+package membership
+
+import (
+	"sync/atomic"
+
+	"siren/internal/wire"
+)
+
+// SendStats is a snapshot of a retrying sender's counters.
+type SendStats struct {
+	// Sent counts datagrams ultimately delivered (Send returned nil).
+	Sent uint64
+	// Retries counts individual re-send attempts after a failed send.
+	Retries uint64
+	// SendErrors counts datagrams lost for good: every attempt failed.
+	SendErrors uint64
+}
+
+// RetryTransport wraps a wire.Transport with bounded, backed-off retries and
+// error accounting. UDP sendto errors (ENOBUFS under burst load,
+// ECONNREFUSED picked up on connected loopback sockets) were previously
+// dropped silently in the collector's fire-and-forget path; here they are
+// retried up to Retries times and — if they still fail — surfaced in
+// SendErrors instead of vanishing. Safe for concurrent Send calls; holds no
+// locks, so a retry sleep never blocks other senders.
+type RetryTransport struct {
+	// T is the underlying transport.
+	T wire.Transport
+	// Retries is the number of re-send attempts after the first failure
+	// (0 = fail immediately, counting the error).
+	Retries int
+	// Backoff paces the retries.
+	Backoff Backoff
+
+	sent    atomic.Uint64
+	retries atomic.Uint64
+	errors  atomic.Uint64
+}
+
+// Send delivers b, retrying failed attempts. It returns the last error when
+// every attempt failed.
+func (r *RetryTransport) Send(b []byte) error {
+	err := r.T.Send(b)
+	for attempt := 0; err != nil && attempt < r.Retries; attempt++ {
+		r.Backoff.Sleep(attempt, nil)
+		r.retries.Add(1)
+		err = r.T.Send(b)
+	}
+	if err != nil {
+		r.errors.Add(1)
+		return err
+	}
+	r.sent.Add(1)
+	return nil
+}
+
+// Close closes the underlying transport.
+func (r *RetryTransport) Close() error { return r.T.Close() }
+
+// Stats snapshots the counters.
+func (r *RetryTransport) Stats() SendStats {
+	return SendStats{
+		Sent:       r.sent.Load(),
+		Retries:    r.retries.Load(),
+		SendErrors: r.errors.Load(),
+	}
+}

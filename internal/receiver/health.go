@@ -1,0 +1,56 @@
+package receiver
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Health evaluates the receiver's ingest health for /healthz. The liveness
+// half is implicit — answering at all proves the process exists, which is
+// all membership.ProbeLive requires — so the verdict reported here is the
+// stronger *ingest* health: with stallAfter > 0, Health fails when the
+// datagram source has been open longer than stallAfter without a single
+// datagram arriving in that window (socket open, zero reads — the
+// wedged-reader/black-holed-traffic signature), including the
+// never-received-anything case. stallAfter <= 0 disables stall detection.
+// An idle-but-probeable receiver therefore serves 503, which balancers use
+// to steer traffic while senders still (correctly) consider it alive.
+func (r *Receiver) Health(stallAfter time.Duration) (ok bool, detail string) {
+	if r.closing.Load() {
+		return false, "shutting down"
+	}
+	open := r.sourceOpenNano.Load()
+	if open == 0 {
+		return true, "ok: no datagram source attached yet"
+	}
+	if stallAfter <= 0 {
+		return true, "ok"
+	}
+	ref := open
+	kind := "source open"
+	if last := r.lastRecvNano.Load(); last > ref {
+		ref = last
+		kind = "last datagram"
+	}
+	age := time.Since(time.Unix(0, ref))
+	if age > stallAfter {
+		return false, fmt.Sprintf("stalled: %s %s ago, nothing received since", kind, age.Round(time.Millisecond))
+	}
+	return true, "ok"
+}
+
+// HealthHandler serves Health as /healthz on the stats mux: 200 when
+// healthy, 503 when ingest looks stalled, always with the detail line as
+// the body. Probes distinguish the two liveness levels: any response =
+// process alive (membership.ProbeLive), 200 = actually ingesting.
+func (r *Receiver) HealthHandler(stallAfter time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		ok, detail := r.Health(stallAfter)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintln(w, detail)
+	})
+}

@@ -49,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"siren/internal/membership"
 	"siren/internal/sirendb"
 	"siren/internal/wire"
 )
@@ -59,22 +60,28 @@ type Stats struct {
 	Inserted     atomic.Int64 // messages stored in the database
 	Malformed    atomic.Int64 // datagrams that failed to parse (dropped)
 	Dropped      atomic.Int64 // datagrams dropped due to a full shard channel
-	Rejected     atomic.Int64 // datagrams outside this receiver's partition (dropped by admission)
+	Rejected     atomic.Int64 // datagrams outside this receiver's partition/ownership (dropped by admission)
 	InsertErrors atomic.Int64 // failed InsertBatch calls
 	InsertLost   atomic.Int64 // messages in failed InsertBatch calls (upper bound: a partially-applied batch counts whole)
+	// AcceptedFailover counts admitted datagrams whose key this receiver
+	// owns only because the key's rank-0 member is marked down in the
+	// membership view — the observable trace of a failover reassignment
+	// (membership-table admission only; always 0 under static partitioning).
+	AcceptedFailover atomic.Int64
 }
 
 // StatsSnapshot is a plain-value copy of the counters at one instant — the
 // shape cmd/siren-receiver exports over expvar (the field names become the
 // JSON keys of the "siren_receiver" var).
 type StatsSnapshot struct {
-	Received     int64
-	Inserted     int64
-	Malformed    int64
-	Dropped      int64
-	Rejected     int64
-	InsertErrors int64
-	InsertLost   int64
+	Received         int64
+	Inserted         int64
+	Malformed        int64
+	Dropped          int64
+	Rejected         int64
+	InsertErrors     int64
+	InsertLost       int64
+	AcceptedFailover int64
 }
 
 // Snapshot copies the counters. Each counter is loaded atomically; the set
@@ -82,13 +89,14 @@ type StatsSnapshot struct {
 // received but not yet inserted), which telemetry tolerates.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Received:     s.Received.Load(),
-		Inserted:     s.Inserted.Load(),
-		Malformed:    s.Malformed.Load(),
-		Dropped:      s.Dropped.Load(),
-		Rejected:     s.Rejected.Load(),
-		InsertErrors: s.InsertErrors.Load(),
-		InsertLost:   s.InsertLost.Load(),
+		Received:         s.Received.Load(),
+		Inserted:         s.Inserted.Load(),
+		Malformed:        s.Malformed.Load(),
+		Dropped:          s.Dropped.Load(),
+		Rejected:         s.Rejected.Load(),
+		InsertErrors:     s.InsertErrors.Load(),
+		InsertLost:       s.InsertLost.Load(),
+		AcceptedFailover: s.AcceptedFailover.Load(),
 	}
 }
 
@@ -96,8 +104,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 // periodically.
 func (s *Stats) String() string {
 	v := s.Snapshot()
-	return fmt.Sprintf("received=%d inserted=%d malformed=%d dropped=%d rejected=%d insert_errors=%d insert_lost=%d",
-		v.Received, v.Inserted, v.Malformed, v.Dropped, v.Rejected, v.InsertErrors, v.InsertLost)
+	return fmt.Sprintf("received=%d inserted=%d malformed=%d dropped=%d rejected=%d insert_errors=%d insert_lost=%d accepted_failover=%d",
+		v.Received, v.Inserted, v.Malformed, v.Dropped, v.Rejected, v.InsertErrors, v.InsertLost, v.AcceptedFailover)
 }
 
 // Store is the destination a receiver drains into. *sirendb.DB implements
@@ -143,8 +151,15 @@ type Receiver struct {
 	batchMax   int
 	readBuf    int
 	readers    int
-	partition  int // this receiver's slice of the campaign partition space
-	partitions int // size of the partition space (<= 1: accept everything)
+	partition  int              // this receiver's slice of the campaign partition space
+	partitions int              // size of the partition space (<= 1: accept everything)
+	view       *membership.View // membership-table admission (nil: static partition admission)
+	selfIdx    int              // this receiver's index in view's roster
+
+	// Health state (see health.go): when the datagram source opened and when
+	// the last datagram arrived, as UnixNano (0 = never).
+	sourceOpenNano atomic.Int64
+	lastRecvNano   atomic.Int64
 
 	readerWG  sync.WaitGroup
 	writerWG  sync.WaitGroup
@@ -193,6 +208,15 @@ type Options struct {
 	// the parse stage, identically on every receiver.
 	Partition  int
 	Partitions int
+	// View switches admission from the static Partition/Partitions table to
+	// the membership table (DESIGN.md §11): a datagram is admitted when this
+	// receiver is the highest-rendezvous-scoring member of the view's live
+	// set for the datagram's (JOBID, HOST) — so a dead member's slice falls
+	// to the surviving next-highest scorers instead of being lost until
+	// restart. The view must be a member view (its self ID names this
+	// receiver). Admissions whose rank-0 owner is marked down are counted in
+	// Stats.AcceptedFailover. Mutually exclusive with Partitions > 1.
+	View *membership.View
 }
 
 func (o *Options) defaults() {
@@ -228,6 +252,16 @@ func New(db Store, opts Options) *Receiver {
 	if opts.Partitions > 1 && (opts.Partition < 0 || opts.Partition >= opts.Partitions) {
 		panic(fmt.Sprintf("receiver: partition %d out of range [0,%d)", opts.Partition, opts.Partitions))
 	}
+	if opts.View != nil {
+		// The same fail-loudly contract as a bad partition: a receiver
+		// admitting under the wrong rule double-ingests or drops a slice.
+		if opts.Partitions > 1 {
+			panic("receiver: View and Partitions>1 are mutually exclusive admission modes")
+		}
+		if opts.View.SelfIndex() < 0 {
+			panic("receiver: View must be a member view (NewView with this receiver's ID), not an observer view")
+		}
+	}
 	r := &Receiver{
 		db:         db,
 		stats:      &Stats{},
@@ -236,7 +270,11 @@ func New(db Store, opts Options) *Receiver {
 		readers:    opts.Readers,
 		partition:  opts.Partition,
 		partitions: opts.Partitions,
+		view:       opts.View,
 		shards:     make([]chan pkt, opts.Writers),
+	}
+	if r.view != nil {
+		r.selfIdx = r.view.SelfIndex()
 	}
 	if r.readBuf <= 0 {
 		r.readBuf = 4 << 20
@@ -288,6 +326,7 @@ func (r *Receiver) ListenUDP(addr string) (string, error) {
 		_ = uc.SetReadBuffer(r.readBuf)
 	}
 	r.conn = conn
+	r.sourceOpenNano.Store(time.Now().UnixNano())
 	for i := 0; i < r.readers; i++ {
 		r.readerWG.Add(1)
 		go r.readLoop(conn)
@@ -302,11 +341,13 @@ func (r *Receiver) ListenUDP(addr string) (string, error) {
 // instead of dropping: the source channel already models the lossy socket
 // buffer, so a second drop point would double-count loss.
 func (r *Receiver) AttachChannel(src <-chan []byte) {
+	r.sourceOpenNano.Store(time.Now().UnixNano())
 	r.readerWG.Add(1)
 	go func() {
 		defer r.readerWG.Done()
 		for d := range src {
 			r.stats.Received.Add(1)
+			r.lastRecvNano.Store(time.Now().UnixNano())
 			r.dispatch(pkt{data: d}, true)
 		}
 	}()
@@ -334,6 +375,7 @@ func (r *Receiver) readLoop(conn net.PacketConn) {
 // and shutdown-drain loops.
 func (r *Receiver) ingest(d []byte, block bool) {
 	r.stats.Received.Add(1)
+	r.lastRecvNano.Store(time.Now().UnixNano())
 	bp := bufPool.Get().(*[]byte)
 	if cap(*bp) < len(d) {
 		*bp = make([]byte, len(d))
@@ -358,12 +400,28 @@ func (r *Receiver) ingest(d []byte, block bool) {
 // drops-and-counts like the kernel would.
 func (r *Receiver) dispatch(p pkt, block bool) {
 	idx := 0
-	if r.partitions > 1 || len(r.shards) > 1 {
+	if r.view != nil || r.partitions > 1 || len(r.shards) > 1 {
 		if job, host, ok := wire.PartitionFields(p.data); ok {
-			if r.partitions > 1 && wire.PartitionIndex(job, host, r.partitions) != r.partition {
-				r.stats.Rejected.Add(1)
-				release(p)
-				return
+			switch {
+			case r.view != nil:
+				// Membership admission: accept exactly the keys this member
+				// owns under the current live view; when ownership arrived by
+				// failover (the key's rank-0 member is down), count it.
+				rank0, owner := r.view.Route(job, host)
+				if owner != r.selfIdx {
+					r.stats.Rejected.Add(1)
+					release(p)
+					return
+				}
+				if rank0 != r.selfIdx {
+					r.stats.AcceptedFailover.Add(1)
+				}
+			case r.partitions > 1:
+				if wire.PartitionIndex(job, host, r.partitions) != r.partition {
+					r.stats.Rejected.Add(1)
+					release(p)
+					return
+				}
 			}
 			if len(r.shards) > 1 {
 				idx = int(wire.PartitionHash(job, host) % uint64(len(r.shards)))

@@ -115,6 +115,13 @@ type MergedSnapshot struct {
 	offsets []uint64      // per-member seq rebase: sum of preceding LastSeqs
 	shards  []memberShard // flattened merged-shard index space
 	count   int
+
+	// Overlap-dedup state (see dedup.go; all nil/zero until DedupOverlaps):
+	// drop[m] holds member m's suppressed (job, host) runs, deadShardJobs
+	// maps a merged shard index to jobs with zero surviving rows there.
+	drop          []map[jobHost]struct{}
+	deadShardJobs map[int]map[string]struct{}
+	dedup         DedupStats
 }
 
 // MergeSnapshots builds the merged view over already-captured member
@@ -165,7 +172,10 @@ func (ms *MergedSnapshot) LastSeq() uint64 {
 // that: a live store only appends, and an OpenSet holds every member's
 // exclusive lock so a finished campaign cannot change at all) — rebasing
 // offsets are cumulative member LastSeqs, so removing or reordering members
-// would re-home rebased sequence ranges.
+// would re-home rebased sequence ranges. After DedupOverlaps the result is
+// conservative: a job may be reported changed even when its only new rows
+// were suppressed duplicates (the refresh then re-consolidates it from the
+// surviving rows — wasted work, never wrong data).
 func (ms *MergedSnapshot) JobsChangedSince(since uint64) []string {
 	seen := make(map[string]struct{})
 	for i, sn := range ms.members {
@@ -192,31 +202,57 @@ func (ms *MergedSnapshot) JobsChangedSince(since uint64) []string {
 }
 
 // ShardJobs returns merged shard i's distinct job IDs in first-appearance
-// order — Snapshot.ShardJobs over the owning member's local shard.
+// order — Snapshot.ShardJobs over the owning member's local shard, minus
+// jobs whose every row there was dedup-suppressed.
 func (ms *MergedSnapshot) ShardJobs(i int) []string {
 	m := ms.shards[i]
-	return ms.members[m.member].ShardJobs(m.shard)
+	jobs := ms.members[m.member].ShardJobs(m.shard)
+	dead := ms.deadShardJobs[i]
+	if len(dead) == 0 {
+		return jobs
+	}
+	out := make([]string, 0, len(jobs))
+	for _, j := range jobs {
+		if _, gone := dead[j]; !gone {
+			out = append(out, j)
+		}
+	}
+	return out
 }
 
 // ShardJobRows streams merged shard i's rows of one job in insertion order
-// with rebased sequence numbers; return false to stop.
+// with rebased sequence numbers, skipping dedup-suppressed runs; return
+// false to stop.
 func (ms *MergedSnapshot) ShardJobRows(i int, job string, f func(m wire.Message, seq uint64) bool) {
 	sh := ms.shards[i]
 	off := ms.offsets[sh.member]
 	ms.members[sh.member].ShardJobRows(sh.shard, job, func(m wire.Message, seq uint64) bool {
+		if ms.dropped(sh.member, job, m.Host) {
+			return true
+		}
 		return f(m, off+seq)
 	})
 }
 
 // JobShardCounts maps every job ID to the number of merged shards holding
-// rows of that job — the fan-in count per job, summed across members (a
-// multi-host job may span members when its hosts hash to different
-// partitions, exactly as it may span shards within one store).
+// at least one surviving row of that job — the fan-in count per job, summed
+// across members (a multi-host job may span members when its hosts hash to
+// different partitions, exactly as it may span shards within one store).
+// Shard segments emptied by dedup are not counted, keeping the promise to
+// the streaming consolidator (SnapshotView) exact: ShardJobRows yields rows
+// in exactly JobShardCounts[job] shards.
 func (ms *MergedSnapshot) JobShardCounts() map[string]int {
 	out := make(map[string]int)
 	for _, sn := range ms.members {
 		for job, n := range sn.JobShardCounts() {
 			out[job] += n
+		}
+	}
+	for _, dead := range ms.deadShardJobs {
+		for job := range dead {
+			if out[job]--; out[job] == 0 {
+				delete(out, job)
+			}
 		}
 	}
 	return out
@@ -228,11 +264,14 @@ func (ms *MergedSnapshot) JobShardCounts() map[string]int {
 // boundaries under the rebase.
 func (ms *MergedSnapshot) JobRows(job string, f func(m wire.Message) bool) {
 	stop := false
-	for _, sn := range ms.members {
+	for i, sn := range ms.members {
 		if stop {
 			return
 		}
 		sn.JobRows(job, func(m wire.Message) bool {
+			if ms.dropped(i, job, m.Host) {
+				return true
+			}
 			if !f(m) {
 				stop = true
 			}
@@ -245,11 +284,14 @@ func (ms *MergedSnapshot) JobRows(job string, f func(m wire.Message) bool) {
 // (member index, then member insertion order); return false to stop.
 func (ms *MergedSnapshot) Iter(f func(m wire.Message) bool) {
 	stop := false
-	for _, sn := range ms.members {
+	for i, sn := range ms.members {
 		if stop {
 			return
 		}
 		sn.Iter(func(m wire.Message) bool {
+			if ms.dropped(i, m.JobID, m.Host) {
+				return true
+			}
 			if !f(m) {
 				stop = true
 			}
