@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet fmt fmt-check lint staticcheck sirenlint fuzz-smoke bench bench-smoke bench-store bench-read bench-serve bench-gate bench-gate-run bench-rebaseline test-replay test-cluster test-serve test-failover ci
+.PHONY: build test test-race vet fmt fmt-check lint staticcheck sirenlint fuzz-smoke bench bench-smoke bench-store bench-read bench-serve bench-gate bench-gate-run bench-rebaseline test-replay test-cluster test-serve test-failover test-runs ci
 
 build:
 	$(GO) build ./...
@@ -50,10 +50,13 @@ lint: vet fmt-check staticcheck sirenlint
 # checked-in seeds (including the hostile-TOT reassembly datagram) plus a
 # short randomized excursion, cheap enough for every CI push. Go allows one
 # -fuzz pattern per invocation, hence three runs.
+# FuzzRunDecode caps minimization at 5 attempts: the default 60s budget per
+# shrink makes a single found crash look like a hang in CI logs.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzWireParse$$' -fuzztime=10s ./internal/wire
 	$(GO) test -run=NONE -fuzz='^FuzzReassemble$$' -fuzztime=10s ./internal/wire
 	$(GO) test -run=NONE -fuzz='^FuzzParseDigest$$' -fuzztime=10s ./internal/ssdeep
+	$(GO) test -run=NONE -fuzz='^FuzzRunDecode$$' -fuzztime=10s -fuzzminimizetime=5x ./internal/sirendb/runfmt
 
 # Full benchmark suite (regenerates the evaluation tables alongside timings).
 bench:
@@ -92,6 +95,14 @@ bench-read:
 test-replay:
 	$(GO) test -race -count=1 -run 'Replay|Corrupt|Crash|Torn|GroupCommit|Closed|Locked|Legacy|ShardCount|Compact|Persist' ./internal/sirendb
 
+# Sealed-run storage tier suite under the race detector: the seal crash
+# matrix (debris sweep, post-marker roll-forward, torn-committed-run
+# detection), retention, read-only shared-lock opens, and the
+# sealed-vs-replay consolidation equivalence.
+test-runs:
+	$(GO) test -race -count=1 -run 'Seal|ReadOnly|RoundTrip|JobCursor|WriteSorts|WriteEmpty|CorruptionDetected' \
+		./internal/sirendb ./internal/sirendb/runfmt ./internal/postprocess
+
 # Multi-receiver deployment suite under the race detector: partition
 # admission at the receiver, merged snapshots over member databases, the
 # merged-vs-single consolidation equivalence, and the 3-receiver UDP
@@ -127,7 +138,9 @@ bench-serve:
 
 # Benchmark-regression gate (DESIGN.md §9). One representative benchmark per
 # tier — indexed identify (analysis and full handler stack), incremental
-# catalog refresh, store insert, receiver ingest — each run -count times so
+# catalog refresh, store insert, receiver ingest, and the sealed-vs-replay
+# open pair (the flat sealed open is the storage tier's claim) — each run
+# -count times so
 # benchdiff can take the noise-resistant minimum, compared against the
 # committed baseline and failing on a >25% geometric-mean slowdown. After an
 # intentional perf change, re-baseline with `make bench-rebaseline` on the
@@ -143,6 +156,8 @@ bench-gate-run:
 	$(GO) test -run=NONE -bench='BenchmarkCatalogRefresh/incremental/jobs=16$$' -count=$(BENCH_GATE_COUNT) ./internal/catalog | tee -a $(BENCH_GATE_OUT)
 	$(GO) test -run=NONE -bench='BenchmarkInsertBatch/store=mem/shards=4/writers=4$$' -count=$(BENCH_GATE_COUNT) ./internal/sirendb | tee -a $(BENCH_GATE_OUT)
 	$(GO) test -run=NONE -bench='BenchmarkReceiverIngest/shards=4/payload=512$$' -count=$(BENCH_GATE_COUNT) ./internal/receiver | tee -a $(BENCH_GATE_OUT)
+	$(GO) test -run=NONE -bench='BenchmarkOpenSealed/rows=10000$$' -count=$(BENCH_GATE_COUNT) ./internal/sirendb | tee -a $(BENCH_GATE_OUT)
+	$(GO) test -run=NONE -bench='BenchmarkOpenReplay/rows=10000$$' -count=$(BENCH_GATE_COUNT) ./internal/sirendb | tee -a $(BENCH_GATE_OUT)
 
 bench-gate: bench-gate-run
 	$(GO) run ./cmd/benchdiff -baseline $(BENCH_BASELINE) -threshold 1.25 $(BENCH_GATE_OUT)
@@ -151,7 +166,7 @@ bench-rebaseline: bench-gate-run
 	$(GO) run ./cmd/benchdiff -write -out $(BENCH_BASELINE) $(BENCH_GATE_OUT)
 
 # Everything the three CI jobs run (test, e2e, bench), serially.
-ci: build vet fmt-check staticcheck sirenlint test-race test-cluster test-failover test-serve fuzz-smoke bench-smoke
+ci: build vet fmt-check staticcheck sirenlint test-race test-runs test-cluster test-failover test-serve fuzz-smoke bench-smoke
 	$(MAKE) bench-read BENCHTIME=1x
 	$(MAKE) bench-serve BENCHTIME=1x
 	$(MAKE) bench-gate

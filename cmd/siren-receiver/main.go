@@ -12,6 +12,13 @@
 //	               [-db-shards S] [-sync-interval 100ms]
 //	               [-rcvbuf BYTES] [-stats-interval 10s]
 //	               [-serve-addr HOST:PORT] [-refresh-interval 5s]
+//	               [-seal-interval 0] [-retain 0]
+//
+// -seal-interval periodically freezes the WAL head into immutable sorted
+// run files (sirendb.Seal): restart replay then costs only the rows since
+// the last seal, and the runs reopen in O(index). -retain N drops sealed
+// generations older than the newest N after each seal — the storage
+// retention knob of a long campaign (0 keeps everything).
 //
 // -serve-addr starts the online recognition service over the live store:
 // the HTTP JSON query API of internal/server (POST /api/v1/identify,
@@ -134,6 +141,8 @@ func run() (err error) {
 	probeEvery := flag.Duration("probe-interval", time.Second, "period of background peer health probes in membership mode (<= 0 disables)")
 	probeTimeout := flag.Duration("probe-timeout", 500*time.Millisecond, "timeout of each peer health probe and of /membership/down confirm-probes")
 	healthStall := flag.Duration("health-stall", 0, "make /healthz report 503 if the UDP socket is open but no datagram arrived for this long (0 disables stall detection)")
+	sealEvery := flag.Duration("seal-interval", 0, "period of sealing the WAL head into immutable run files (0 disables; bounds restart replay to the rows since the last seal)")
+	retain := flag.Int("retain", 0, "sealed generations to keep after each seal; older runs are deleted (0 keeps everything; requires -seal-interval)")
 	serveAddr := flag.String("serve-addr", "", "HTTP listen address of the online recognition API over the live store (\"\" disables)")
 	refreshEvery := flag.Duration("refresh-interval", 5*time.Second, "period of incremental catalog refresh behind -serve-addr (<= 0 disables: the served catalog then never sees ingested rows)")
 	flag.Parse()
@@ -141,6 +150,12 @@ func run() (err error) {
 	partition, partitions, err := parsePartition(*partSpec)
 	if err != nil {
 		return err
+	}
+	if *retain < 0 {
+		return errors.New("-retain must be >= 0")
+	}
+	if *retain > 0 && *sealEvery <= 0 {
+		return errors.New("-retain needs -seal-interval: generations only accumulate when sealing runs")
 	}
 
 	// Membership mode: rendezvous admission over the roster's live members,
@@ -326,6 +341,40 @@ func run() (err error) {
 
 	stop := make(chan struct{})
 	defer close(stop)
+
+	// Periodic sealing: freeze the WAL head into run files so a restart
+	// replays only the tail, then apply generation retention. A seal error
+	// is operator-visible but not fatal — the store keeps ingesting from
+	// the WAL exactly as without sealing (a *poisoned* store surfaces
+	// through insert errors in the receiver stats regardless).
+	if *sealEvery > 0 {
+		go func() {
+			t := time.NewTicker(*sealEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := db.Seal(); err != nil {
+						if errors.Is(err, sirendb.ErrClosed) {
+							return
+						}
+						fmt.Fprintln(os.Stderr, "siren-receiver: seal:", err)
+						continue
+					}
+					if *retain > 0 {
+						if n, err := db.RetainSealedGenerations(*retain); err != nil {
+							fmt.Fprintln(os.Stderr, "siren-receiver: retention:", err)
+						} else if n > 0 {
+							fmt.Printf("siren-receiver: retention dropped %d sealed run(s), keeping %d generation(s)\n", n, *retain)
+						}
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
 	if *statsEvery > 0 {
 		go func() {
 			t := time.NewTicker(*statsEvery)

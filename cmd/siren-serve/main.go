@@ -23,6 +23,13 @@
 // receivers must have exited first; to query a store that is still
 // ingesting, use siren-receiver -serve-addr instead.
 //
+// -readonly opens every member with a shared lock instead of the exclusive
+// one: several siren-serve processes (or any other readers) can serve the
+// same campaign side by side, and none of them can mutate it. Writers are
+// still excluded for as long as any reader holds the lock. Read-only opens
+// require fully recovered stores — a member with an unfinished compaction
+// or an unmigrated legacy WAL is refused (open it writable once first).
+//
 // API: POST /api/v1/identify, GET /api/v1/jobs, /api/v1/clusters?threshold=,
 // /api/v1/report, /api/v1/stats, /healthz (see internal/server).
 //
@@ -61,13 +68,14 @@ func run() (err error) {
 	addr := flag.String("addr", "127.0.0.1:8899", "HTTP listen address of the query API")
 	refreshEvery := flag.Duration("refresh-interval", 0, "period of catalog re-capture (0 = off; a locked set cannot change)")
 	workers := flag.Int("workers", 0, "streaming-consolidation workers per refresh (0 = one per store shard)")
+	readonly := flag.Bool("readonly", false, "open every member with a shared lock: concurrent serve processes may share the campaign, writers stay excluded")
 	flag.Parse()
 
 	paths, err := sirendb.ResolveSetPaths(*dbSpec)
 	if err != nil {
 		return err
 	}
-	set, err := sirendb.OpenSet(paths, sirendb.Options{})
+	set, err := sirendb.OpenSet(paths, sirendb.Options{ReadOnly: *readonly})
 	if err != nil {
 		return err
 	}

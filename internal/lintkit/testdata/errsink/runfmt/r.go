@@ -1,0 +1,33 @@
+// Fixture: the run-file layer is a durability package — a run is only
+// sealed once its bytes and directory entry are fsynced, so a dropped
+// Sync/Close error here silently un-commits a generation.
+package runfmt
+
+import (
+	"errors"
+	"os"
+)
+
+type writer struct{ f *os.File }
+
+func bad(w *writer) {
+	w.f.Sync()  // want "error from Sync discarded"
+	w.f.Close() // want "error from Close discarded"
+}
+
+func badDefer(w *writer) {
+	defer w.f.Close() // want "error from Close discarded by defer"
+}
+
+func good(w *writer) (err error) {
+	defer func() { err = errors.Join(err, w.f.Close()) }() // ok: joined into the return
+	return w.f.Sync()
+}
+
+func goodExplicit(w *writer, failed error) error {
+	if failed != nil {
+		_ = w.f.Close() // ok: visibly deliberate discard on an already-failing path
+		return failed
+	}
+	return w.f.Close()
+}

@@ -42,23 +42,29 @@ import (
 // The contract the consolidation depends on:
 //   - rows of one (job, host) live wholly inside one shard, in insertion
 //     order (the store partitions by wire.PartitionHash(JobID, Host));
-//   - ShardJobRows yields strictly increasing seq values within one shard's
-//     job stream, and seqs are globally comparable across shards;
+//   - within a ShardJobRows stream, the subsequence of any one host carries
+//     strictly increasing seq values (chunk reassembly order); hosts may be
+//     grouped rather than seq-interleaved — a store whose sealed runs sort
+//     rows by (job, host) yields host blocks, the mutable head yields pure
+//     insertion order — and seqs are globally comparable across shards;
 //   - JobShardCounts()[j] equals the number of shard indexes for which
 //     ShardJobRows(i, j, …) yields at least one row;
-//   - JobRows merges one job's rows across shards in ascending seq order.
+//   - JobRows merges one job's rows across shards preserving each host's
+//     insertion order (same per-host guarantee as ShardJobRows).
 type SnapshotView interface {
 	// Shards reports the number of shard cursors.
 	Shards() int
 	// ShardJobs returns shard i's distinct job IDs in first-appearance order.
 	ShardJobs(i int) []string
-	// ShardJobRows streams shard i's rows of one job in insertion order with
-	// each row's sequence number; return false to stop.
+	// ShardJobRows streams shard i's rows of one job — per-host insertion
+	// order preserved, hosts possibly grouped — with each row's sequence
+	// number; return false to stop.
 	ShardJobRows(i int, job string, f func(m wire.Message, seq uint64) bool)
 	// JobShardCounts maps every job ID to the number of shards holding rows
 	// of that job — the fan-in count a per-job reducer waits for.
 	JobShardCounts() map[string]int
-	// JobRows streams every row of one job in global insertion order.
+	// JobRows streams every row of one job, preserving per-host insertion
+	// order.
 	JobRows(job string, f func(m wire.Message) bool)
 	// LastSeq reports the highest sequence number the snapshot contains;
 	// every row it yields has seq <= LastSeq. Successive snapshots of a

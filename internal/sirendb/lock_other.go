@@ -17,3 +17,9 @@ func acquireLock(path string) (*os.File, error) {
 	}
 	return f, nil
 }
+
+// acquireSharedLock matches lock_unix.go's shared variant; without flock it
+// degrades the same way acquireLock does.
+func acquireSharedLock(path string) (*os.File, error) {
+	return acquireLock(path)
+}

@@ -14,11 +14,23 @@ import (
 // by the kernel if the process dies, which is why a lock *file* beats a pid
 // file here: a crash never leaves the store permanently locked.
 func acquireLock(path string) (*os.File, error) {
+	return flockFile(path, syscall.LOCK_EX)
+}
+
+// acquireSharedLock takes the shared form of the same flock: any number of
+// read-only opens hold it together, while a writer's exclusive lock and the
+// shared holders exclude each other — so a reader never observes a segment
+// mid-append and a writer never starts under live readers.
+func acquireSharedLock(path string) (*os.File, error) {
+	return flockFile(path, syscall.LOCK_SH)
+}
+
+func flockFile(path string, how int) (*os.File, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("sirendb: opening lock file: %w", err)
 	}
-	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+	if err := syscall.Flock(int(f.Fd()), how|syscall.LOCK_NB); err != nil {
 		_ = f.Close() // cleanup; the flock failure is the error to report
 		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
 			return nil, fmt.Errorf("%w (lock file %s)", ErrLocked, path)

@@ -53,10 +53,11 @@ func ResolveSetPaths(spec string) ([]string, error) {
 
 // basePath folds one of a store's on-disk artifacts back to its WAL base
 // path: the advisory lock "base.lock", compaction temporaries
-// "base.N.compact" / "base.compact-commit", and segment files "base.N".
-// Exactly one numeric (segment) suffix is stripped — a base path that
-// itself ends in digits must not collapse further ("siren.0.2" is segment
-// 2 of base "siren.0", not of base "siren").
+// "base.N.compact" / "base.compact-commit", seal artifacts
+// "base.seal-commit" (and its ".tmp") / "base.run.G.S", and segment files
+// "base.N". Exactly one numeric (segment) suffix is stripped — a base path
+// that itself ends in digits must not collapse further ("siren.0.2" is
+// segment 2 of base "siren.0", not of base "siren").
 func basePath(p string) string {
 	if s, ok := strings.CutSuffix(p, ".lock"); ok {
 		return s
@@ -64,11 +65,35 @@ func basePath(p string) string {
 	if s, ok := strings.CutSuffix(p, ".compact-commit"); ok {
 		return s
 	}
+	if s, ok := strings.CutSuffix(p, ".seal-commit"); ok {
+		return s
+	}
+	if s, ok := strings.CutSuffix(p, ".seal-commit.tmp"); ok {
+		return s
+	}
+	if s, ok := cutRunSuffix(p); ok {
+		return s
+	}
 	p = strings.TrimSuffix(p, ".compact")
 	if i := strings.LastIndexByte(p, '.'); i >= 0 && i < len(p)-1 && isDigits(p[i+1:]) {
 		return p[:i]
 	}
 	return p
+}
+
+// cutRunSuffix strips a sealed-run suffix ".run.G.S" (two numeric fields
+// after a literal "run"), returning the base and whether it matched.
+func cutRunSuffix(p string) (string, bool) {
+	rest := p
+	for range 2 { // the trailing ".G.S"
+		i := strings.LastIndexByte(rest, '.')
+		if i < 0 || i == len(rest)-1 || !isDigits(rest[i+1:]) {
+			return "", false
+		}
+		rest = rest[:i]
+	}
+	s, ok := strings.CutSuffix(rest, ".run")
+	return s, ok
 }
 
 func isDigits(s string) bool {

@@ -1,0 +1,69 @@
+//go:build !unix
+
+package runfmt
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// backing abstracts how a run file's bytes are reached; see mmap_unix.go.
+// Without mmap the fallback is positional reads into fresh buffers, so
+// Slice results here never alias shared memory.
+type backing interface {
+	Slice(off, length int64) ([]byte, error)
+	Close() error
+}
+
+func openBacking(path string) (backing, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close() // open is failing; the stat error wins
+		return nil, 0, err
+	}
+	if st.Size() == 0 {
+		_ = f.Close() // nothing to read; the corruption error wins
+		return nil, 0, fmt.Errorf("%w: %s: empty file", ErrCorrupt, path)
+	}
+	return &preadBacking{path: path, f: f, size: st.Size()}, st.Size(), nil
+}
+
+type preadBacking struct {
+	path string
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+}
+
+func (p *preadBacking) Slice(off, length int64) ([]byte, error) {
+	if off < 0 || length < 0 || off+length > p.size || off+length < off {
+		return nil, fmt.Errorf("%w: %s: read [%d,+%d) outside the %d-byte file",
+			ErrCorrupt, p.path, off, length, p.size)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.f == nil {
+		return nil, fmt.Errorf("runfmt: %s: read after Close", p.path)
+	}
+	buf := make([]byte, length)
+	if _, err := p.f.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("runfmt: reading %s: %w", p.path, err)
+	}
+	return buf, nil
+}
+
+func (p *preadBacking) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.f == nil {
+		return nil
+	}
+	err := p.f.Close()
+	p.f = nil
+	return err
+}

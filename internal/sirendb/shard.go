@@ -7,8 +7,21 @@ import (
 	"sync/atomic"
 	"time"
 
+	"siren/internal/sirendb/runfmt"
 	"siren/internal/wire"
 )
+
+// sealedRun is one immutable sorted run attached to a shard: the frozen
+// remains of an earlier WAL head, reachable in O(index) without replay.
+// gen is the seal generation that produced it; fileShard is the shard index
+// baked into its file name, which equals the owning shard's index unless
+// the store was reopened with a different shard count.
+type sealedRun struct {
+	gen       int
+	fileShard int
+	path      string
+	run       *runfmt.Run
+}
 
 // row is one stored message plus its store-wide sequence number, the key the
 // shard-merge in Scan/ByJob orders by.
@@ -27,6 +40,13 @@ type shard struct {
 	byProcess map[string][]int
 	wal       *os.File
 	written   int64 // valid bytes appended to the segment (under mu)
+
+	// runs are the shard's sealed tier, oldest generation first. The slice
+	// is copy-on-write under mu: Seal and retention swap in a fresh slice,
+	// so a snapshot's captured header stays valid forever. sealedRows is the
+	// row total across runs, kept alongside so Count stays O(shards).
+	runs       []sealedRun
+	sealedRows int
 
 	// jobKeys/procKeys cache the sorted key sets of the two indexes so
 	// Jobs/ProcessKeys stop re-sorting on every call. A cache entry is an

@@ -28,6 +28,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,6 +65,14 @@ type Options struct {
 	// before the group-commit syncer calls fdatasync (0 = DefaultSyncInterval;
 	// negative = fdatasync synchronously on every insert batch).
 	SyncInterval time.Duration
+	// ReadOnly opens the store for serving without write access: a *shared*
+	// advisory lock is taken (any number of read-only opens coexist, but a
+	// writer's exclusive lock excludes them and vice versa), segments are
+	// replayed from read-only handles without header repair or truncation,
+	// sealed runs are attached, and no group-commit syncers start. Mutating
+	// operations return ErrReadOnly. A store left needing writable recovery
+	// (legacy WAL, uncompleted compaction) refuses to open read-only.
+	ReadOnly bool
 }
 
 func (o *Options) defaults() {
@@ -92,6 +102,16 @@ type DB struct {
 	lockFile  *os.File
 	staleSegs []string // segment files with index >= len(shards), folded in by Compact
 
+	// sealMu guards the sealed-tier bookkeeping. sealGen is the highest
+	// committed seal generation; sealedSeq is the marker's maxseq — the
+	// replay filter's floor for WAL residue a crashed post-commit seal left
+	// behind. Both only ever grow. runReadErrs counts lazy run-read failures
+	// (block checksum mismatches found after Open) surfaced through Stats.
+	sealMu      sync.Mutex
+	sealGen     int
+	sealedSeq   uint64
+	runReadErrs atomic.Int64
+
 	stopSync   chan struct{}
 	syncWG     sync.WaitGroup
 	syncErrMu  sync.Mutex
@@ -103,6 +123,9 @@ type DB struct {
 	// segment i's rename makes Compact stop dead — committed marker and
 	// remaining temps left in place, no abort.
 	testCrashBeforeRename func(i int) bool
+	// testCrashAfterSealCommit simulates a crash right after Seal's commit
+	// marker became durable: runs committed, WAL not yet truncated.
+	testCrashAfterSealCommit bool
 }
 
 // Open opens (or creates) a database backed by WAL segments derived from
@@ -125,7 +148,11 @@ func OpenOptions(path string, opts Options) (*DB, error) {
 		return db, nil
 	}
 	db.dir = filepath.Dir(path)
-	lf, err := acquireLock(path + ".lock")
+	lock := acquireLock
+	if opts.ReadOnly {
+		lock = acquireSharedLock
+	}
+	lf, err := lock(path + ".lock")
 	if err != nil {
 		return nil, err
 	}
@@ -136,10 +163,11 @@ func OpenOptions(path string, opts Options) (*DB, error) {
 				_ = s.wal.Close() // cleanup on a path already returning err
 			}
 		}
+		db.closeRunsLocked()
 		_ = lf.Close() // ditto; the open error is what matters
 		return nil, err
 	}
-	if opts.SyncInterval > 0 {
+	if opts.SyncInterval > 0 && !opts.ReadOnly {
 		for _, s := range db.shards {
 			db.syncWG.Add(1)
 			go db.syncLoop(s)
@@ -224,6 +252,9 @@ func (db *DB) shardIndex(m wire.Message) int {
 }
 
 func (db *DB) insertShard(s *shard, ms []wire.Message) error {
+	if db.opts.ReadOnly {
+		return ErrReadOnly
+	}
 	persistent := db.path != ""
 	if persistent && db.closed.Load() {
 		return ErrClosed
@@ -310,37 +341,53 @@ func (db *DB) rlockAll() func() {
 	}
 }
 
-// Count returns the number of stored messages.
+// Count returns the number of stored messages, sealed runs included.
 func (db *DB) Count() int {
 	defer db.rlockAll()()
 	n := 0
 	for _, s := range db.shards {
-		n += len(s.rows)
+		n += len(s.rows) + s.sealedRows
 	}
 	return n
 }
 
-// rowViews captures every shard's row-slice header under a brief all-shard
-// read lock — the lightest possible consistent cut, O(shards) work. Rows
-// are append-only after open, so the captured prefixes stay immutable.
-func (db *DB) rowViews() [][]row {
-	views := make([][]row, len(db.shards))
+// tierViews captures every shard's head rows and sealed-run set under one
+// brief all-shard read lock. Both are copy-on-write (rows append-only, run
+// slices swapped wholesale by Seal/retention), so the captured headers stay
+// valid without the lock.
+func (db *DB) tierViews() (rows [][]row, runs [][]sealedRun) {
+	rows = make([][]row, len(db.shards))
+	runs = make([][]sealedRun, len(db.shards))
 	unlock := db.rlockAll()
 	for i, s := range db.shards {
-		views[i] = s.rows
+		rows[i] = s.rows
+		runs[i] = s.runs
 	}
 	unlock()
-	return views
+	return rows, runs
 }
 
-// Scan streams every message in global insertion order (a seq-merge across
-// shards); return false to stop. Scan reads a point-in-time snapshot
-// captured under a brief lock: the callback runs with no store lock held,
-// so it may block, take arbitrarily long, or even insert into the store
-// without stalling writers or deadlocking; rows inserted after the Scan
-// began are not surfaced. Use Snapshot for repeated reads of one cut.
+// noteRunErr records a lazy run-read failure (a block checksum mismatch
+// found while decoding an already-opened run). The affected stream ends
+// early rather than yielding wrong rows; the counter surfaces through Stats
+// so the loss is observable, in keeping with SIREN's graceful-failure
+// design (a torn *committed* run is caught hard at Open instead).
+func (db *DB) noteRunErr(error) { db.runReadErrs.Add(1) }
+
+// Scan streams every message exactly once; return false to stop. The
+// stream is a seq-merge across shard heads and sealed runs: head rows come
+// out in global insertion order, a sealed run's rows in its on-disk
+// (job, host, seq) sort — so any one (job, host) stream is always in
+// insertion order, while rows of different hosts may be grouped rather than
+// globally seq-interleaved once sealed. Scan reads a
+// point-in-time snapshot captured under a brief lock: the callback runs
+// with no store lock held, so it may block, take arbitrarily long, or even
+// insert into the store without stalling writers or deadlocking; rows
+// inserted after the Scan began are not surfaced. Use Snapshot for repeated
+// reads of one cut.
 func (db *DB) Scan(f func(m wire.Message) bool) {
-	iterRows(db.rowViews(), f)
+	rows, runs := db.tierViews()
+	mergeSrcs(tierSources(rows, runs, db.noteRunErr), func(m wire.Message, _ uint64) bool { return f(m) })
 }
 
 // scanHoldingAllLocks is the pre-snapshot read path: the same k-way merge,
@@ -372,45 +419,56 @@ func (db *DB) scanHoldingAllLocks(f func(m wire.Message) bool) {
 	}
 }
 
-// All returns a copy of every message in global insertion order.
+// All returns a copy of every message, sealed runs included, in Scan's
+// order (insertion order per (job, host); host blocks once sealed).
 func (db *DB) All() []wire.Message {
-	views := db.rowViews()
+	rows, runs := db.tierViews()
 	n := 0
-	for _, v := range views {
-		n += len(v)
+	for i := range rows {
+		n += len(rows[i])
+		for _, sr := range runs[i] {
+			n += sr.run.Rows()
+		}
 	}
 	out := make([]wire.Message, 0, n)
-	iterRows(views, func(m wire.Message) bool {
+	mergeSrcs(tierSources(rows, runs, db.noteRunErr), func(m wire.Message, _ uint64) bool {
 		out = append(out, m)
 		return true
 	})
 	return out
 }
 
-// indexViews captures, under a brief all-shard read lock, each shard's rows
-// plus one secondary-index entry — slice headers only, so the lock is held
-// for O(shards) work and the merge below runs lock-free.
-func (db *DB) indexViews(pick func(*shard) []int) (rows [][]row, idxs [][]int, n int) {
+// jobTierViews captures, under one all-shard read lock, each shard's head
+// rows, one head secondary-index entry, and the sealed runs that contain
+// jobID (located through each run's embedded job index — O(log jobs), no
+// row decode). n counts head index entries plus run job rows.
+func (db *DB) jobTierViews(jobID string, pick func(*shard) []int) (rows [][]row, idxs [][]int, runs [][]sealedRun, n int) {
 	rows = make([][]row, len(db.shards))
 	idxs = make([][]int, len(db.shards))
+	runs = make([][]sealedRun, len(db.shards))
 	unlock := db.rlockAll()
 	for i, s := range db.shards {
 		rows[i] = s.rows
 		idxs[i] = pick(s)
 		n += len(idxs[i])
+		for _, sr := range s.runs {
+			if jr, _, _, ok := sr.run.JobStats(jobID); ok {
+				runs[i] = append(runs[i], sr)
+				n += jr
+			}
+		}
 	}
 	unlock()
-	return rows, idxs, n
+	return rows, idxs, runs, n
 }
 
-// ByJob returns all messages of one job in insertion order. The result is
-// one exact-size allocation: per-shard index lists are already
-// sequence-sorted, so the shards k-way merge without the per-call sort and
-// temporary (seq, msg) slice the old read path paid.
+// ByJob returns all messages of one job in insertion order, sealed runs
+// included. The head contributes its sequence-sorted index lists, each run
+// its indexed job extents; the per-shard streams k-way merge by sequence.
 func (db *DB) ByJob(jobID string) []wire.Message {
-	rows, idxs, n := db.indexViews(func(s *shard) []int { return s.byJob[jobID] })
+	rows, idxs, runs, n := db.jobTierViews(jobID, func(s *shard) []int { return s.byJob[jobID] })
 	out := make([]wire.Message, 0, n)
-	mergeIndexed(rows, idxs, func(m wire.Message) bool {
+	mergeSrcs(jobSources(rows, idxs, runs, jobID, nil, db.noteRunErr), func(m wire.Message, _ uint64) bool {
 		out = append(out, m)
 		return true
 	})
@@ -421,15 +479,17 @@ func (db *DB) ByJob(jobID string) []wire.Message {
 // materialising a slice — the zero-copy variant of ByJob. Return false to
 // stop. No store lock is held while f runs.
 func (db *DB) ByJobFunc(jobID string, f func(m wire.Message) bool) {
-	rows, idxs, _ := db.indexViews(func(s *shard) []int { return s.byJob[jobID] })
-	mergeIndexed(rows, idxs, f)
+	rows, idxs, runs, _ := db.jobTierViews(jobID, func(s *shard) []int { return s.byJob[jobID] })
+	mergeSrcs(jobSources(rows, idxs, runs, jobID, nil, db.noteRunErr), func(m wire.Message, _ uint64) bool { return f(m) })
 }
 
-// ByProcess returns all messages sharing a process key, in insertion order.
+// ByProcess returns all messages sharing a process key, in insertion order,
+// sealed runs included. Head rows come straight off the byProcess index;
+// run files index by job only, so the job's extents are streamed and
+// filtered on the full key.
 func (db *DB) ByProcess(processKey string) []wire.Message {
-	rows, idxs, n := db.indexViews(func(s *shard) []int { return s.byProcess[processKey] })
-	out := make([]wire.Message, 0, n)
-	mergeIndexed(rows, idxs, func(m wire.Message) bool {
+	var out []wire.Message
+	db.ByProcessFunc(processKey, func(m wire.Message) bool {
 		out = append(out, m)
 		return true
 	})
@@ -439,8 +499,19 @@ func (db *DB) ByProcess(processKey string) []wire.Message {
 // ByProcessFunc streams one process's messages in insertion order — the
 // zero-copy variant of ByProcess. Return false to stop.
 func (db *DB) ByProcessFunc(processKey string, f func(m wire.Message) bool) {
-	rows, idxs, _ := db.indexViews(func(s *shard) []int { return s.byProcess[processKey] })
-	mergeIndexed(rows, idxs, f)
+	jobID := processKeyJob(processKey)
+	rows, idxs, runs, _ := db.jobTierViews(jobID, func(s *shard) []int { return s.byProcess[processKey] })
+	filter := func(m wire.Message) bool { return m.ProcessKey() == processKey }
+	mergeSrcs(jobSources(rows, idxs, runs, jobID, filter, db.noteRunErr), func(m wire.Message, _ uint64) bool { return f(m) })
+}
+
+// processKeyJob extracts the JobID field (the first) from a process key —
+// the fields are joined with 0x1f, same as wire.Header.ProcessKey.
+func processKeyJob(pk string) string {
+	if i := strings.IndexByte(pk, '\x1f'); i >= 0 {
+		return pk[:i]
+	}
+	return pk
 }
 
 // keys returns the sorted union of one secondary-index key set over all
@@ -456,14 +527,56 @@ func (db *DB) keys(pick func(*shard) []string) []string {
 	return mergeSortedUnique(lists)
 }
 
-// Jobs returns the distinct job IDs, sorted.
+// Jobs returns the distinct job IDs, sorted — the head's cached key sets
+// merged with each sealed run's embedded job index (already sorted, no row
+// decode).
 func (db *DB) Jobs() []string {
-	return db.keys(func(s *shard) []string { return sortedKeysOf(&s.jobKeys, s.byJob) })
+	lists := make([][]string, 0, len(db.shards))
+	unlock := db.rlockAll()
+	for _, s := range db.shards {
+		lists = append(lists, sortedKeysOf(&s.jobKeys, s.byJob))
+		for _, sr := range s.runs {
+			lists = append(lists, sr.run.Jobs())
+		}
+	}
+	unlock()
+	return mergeSortedUnique(lists)
 }
 
-// ProcessKeys returns the distinct process keys, sorted.
+// ProcessKeys returns the distinct process keys, sorted. Runs index by job
+// only, so their rows are decoded to recover process keys — O(sealed rows),
+// acceptable for this diagnostic accessor (no serving path calls it).
 func (db *DB) ProcessKeys() []string {
-	return db.keys(func(s *shard) []string { return sortedKeysOf(&s.procKeys, s.byProcess) })
+	keys := db.keys(func(s *shard) []string { return sortedKeysOf(&s.procKeys, s.byProcess) })
+	_, runs := db.tierViews()
+	set := map[string]struct{}{}
+	for _, shardRuns := range runs {
+		for _, sr := range shardRuns {
+			c := sr.run.Cursor()
+			for {
+				m, _, ok := c.Next()
+				if !ok {
+					break
+				}
+				set[m.ProcessKey()] = struct{}{}
+			}
+			if err := c.Err(); err != nil {
+				db.noteRunErr(err)
+			}
+		}
+	}
+	if len(set) == 0 {
+		return keys
+	}
+	for _, k := range keys {
+		set[k] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // mergeSortedUnique k-way merges sorted string lists, dropping duplicates.
@@ -500,13 +613,18 @@ func mergeSortedUnique(lists [][]string) []string {
 // (cmd/siren-receiver exports it via expvar alongside the receiver's
 // counters).
 type StoreStats struct {
-	Rows           int    // stored messages
+	Rows           int    // stored messages (WAL head + sealed runs)
 	Shards         int    // store shards
 	LastSeq        uint64 // highest assigned store-wide sequence number
 	CorruptRecords int    // WAL records skipped during replay
 	WALBytes       int64  // bytes appended across all segments
 	WALSynced      int64  // bytes confirmed durable by fdatasync
 	SyncFailed     bool   // a group commit failed; the store is poisoned
+	SealedGen      int    // highest committed seal generation (0 = never sealed)
+	SealedRuns     int    // attached sealed run files
+	SealedRows     int    // rows living in sealed runs
+	SealedBytes    int64  // bytes across sealed run files
+	RunReadErrors  int    // lazy run-read failures (block corruption found after Open)
 }
 
 // Stats snapshots the store's telemetry counters.
@@ -516,10 +634,19 @@ func (db *DB) Stats() StoreStats {
 		LastSeq:        db.seq.Load(),
 		CorruptRecords: int(db.corrupt.Load()),
 		SyncFailed:     db.syncFailed.Load(),
+		RunReadErrors:  int(db.runReadErrs.Load()),
 	}
+	db.sealMu.Lock()
+	st.SealedGen = db.sealGen
+	db.sealMu.Unlock()
 	for _, s := range db.shards {
 		s.mu.RLock()
-		st.Rows += len(s.rows)
+		st.Rows += len(s.rows) + s.sealedRows
+		st.SealedRuns += len(s.runs)
+		st.SealedRows += s.sealedRows
+		for _, sr := range s.runs {
+			st.SealedBytes += sr.run.Size()
+		}
 		st.WALBytes += s.written
 		s.mu.RUnlock()
 		st.WALSynced += s.synced.Load()
@@ -544,6 +671,9 @@ func (db *DB) Stats() StoreStats {
 func (db *DB) Compact() error {
 	if db.path == "" {
 		return nil
+	}
+	if db.opts.ReadOnly {
+		return ErrReadOnly
 	}
 	if db.closed.Load() {
 		return ErrClosed
@@ -676,8 +806,8 @@ func (db *DB) compactRollForward(tmps []*os.File, err error) error {
 // synchronous form of the group commit the background syncers run on a
 // timer. It also surfaces any earlier background sync failure.
 func (db *DB) Sync() error {
-	if db.path == "" {
-		return nil
+	if db.path == "" || db.opts.ReadOnly {
+		return nil // nothing of ours is unsynced
 	}
 	if db.closed.Load() {
 		return ErrClosed

@@ -271,6 +271,9 @@ func discoverSegments(base string) ([]segmentFile, error) {
 // append-ready WAL handle. Called once from OpenOptions, before any
 // concurrency exists.
 func (db *DB) openSegments() error {
+	if db.opts.ReadOnly {
+		return db.openSegmentsReadOnly()
+	}
 	// Roll a crash-interrupted Compact forward (or sweep its discarded
 	// temps) before anything is replayed.
 	if err := db.completeCompact(); err != nil {
@@ -284,6 +287,13 @@ func (db *DB) openSegments() error {
 		return db.migrateLegacy(segs)
 	} else if !os.IsNotExist(err) {
 		return fmt.Errorf("sirendb: %w", err)
+	}
+	// Attach the sealed tier — O(index) per run, no row replay — and sweep
+	// debris from a seal that never committed. Sets the sealed-residue floor
+	// the segment replay below filters against, so a crash between Seal's
+	// commit marker and its segment truncation rolls forward here.
+	if err := db.loadRuns(); err != nil {
+		return err
 	}
 
 	// A Compact abandoned between its renames (rename failure, or leftover
@@ -344,6 +354,49 @@ func (db *DB) openSegments() error {
 		if err := fsyncDir(db.dir); err != nil {
 			return fmt.Errorf("sirendb: %w", err)
 		}
+	}
+	return nil
+}
+
+// openSegmentsReadOnly is the serving-tier open: sealed runs attach in
+// O(index), segments replay from read-only handles, and nothing on disk is
+// created, repaired, truncated, or swept. The shared lock guarantees no
+// writer is live (a writer's exclusive lock would have excluded us), so the
+// on-disk state is quiescent. Stores abandoned mid-recovery — a legacy WAL
+// awaiting migration or an uncompleted compaction — need a writable open
+// first: finishing either transaction is inherently a mutation.
+func (db *DB) openSegmentsReadOnly() error {
+	if _, err := os.Stat(compactMarkerPath(db.path)); err == nil {
+		return fmt.Errorf("sirendb: read-only open: uncompleted compaction at %s; open writable once to recover", db.path)
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("sirendb: %w", err)
+	}
+	if _, err := os.Stat(db.path); err == nil {
+		return fmt.Errorf("sirendb: read-only open: unmigrated legacy WAL at %s; open writable once to migrate", db.path)
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("sirendb: %w", err)
+	}
+	if err := db.loadRuns(); err != nil {
+		return err
+	}
+	segs, err := discoverSegments(db.path)
+	if err != nil {
+		return err
+	}
+	seen := make(map[uint64]struct{})
+	for _, sf := range segs {
+		f, err := os.Open(sf.path)
+		if err != nil {
+			return fmt.Errorf("sirendb: opening %s: %w", sf.path, err)
+		}
+		_, err = db.replaySegment(f, sf.path, false, seen)
+		_ = f.Close() // read-only replay handle; nothing durable at stake
+		if err != nil {
+			return err
+		}
+	}
+	for _, s := range db.shards {
+		s.rebuildIndex()
 	}
 	return nil
 }
@@ -414,6 +467,12 @@ func (db *DB) replaySegment(f *os.File, name string, repairHeader bool, seen map
 			continue
 		}
 		off = recEnd
+		if seq <= db.sealedSeq {
+			// Sealed residue: the row's authoritative copy lives in a run
+			// (Seal committed its marker but crashed before truncating this
+			// segment). Not corruption — just roll-forward leftovers.
+			continue
+		}
 		if seen != nil {
 			if _, dup := seen[seq]; dup {
 				continue
