@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race vet fmt fmt-check lint staticcheck sirenlint fuzz-smoke bench bench-smoke bench-store bench-read bench-serve bench-gate bench-gate-run bench-rebaseline test-replay test-cluster test-serve test-failover test-runs ci
+.PHONY: build test test-race vet fmt fmt-check lint staticcheck sirenlint fuzz-smoke bench bench-smoke bench-store bench-read bench-serve bench-gate bench-gate-run bench-rebaseline test-replay test-cluster test-serve test-failover test-runs test-obs ci
 
 build:
 	$(GO) build ./...
@@ -129,6 +129,17 @@ test-serve:
 		-run 'JobsChangedSince|Incremental|CatalogOverMerged|ConcurrentQueries|Identify|ReadEndpoints|GracefulShutdown|ServeCommand|ReceiverServe' \
 		. ./internal/catalog ./internal/server ./internal/sirendb
 
+# Telemetry suite under the race detector (DESIGN.md §13): the obs core
+# (lock-free records racing scrapes and registration), the Prometheus
+# exposition golden and grammar tests, the per-tier instrument tests
+# (receiver stages, server percentiles and shape-compat pins, membership
+# probe/retry), and the live-campaign /metrics scrape of a real
+# siren-receiver process with -pprof.
+test-obs:
+	$(GO) test -race -count=1 \
+		-run 'Histogram|Counter|Gauge|Registry|Prometheus|Expvar|Metrics|StatsLine|Percentiles|DebugVars|ProberInstrumented|RetryTransportBridge|NilSafety|BucketBounds' \
+		. ./internal/obs ./internal/receiver ./internal/server ./internal/membership
+
 # Serving-tier benchmarks (EXPERIMENTS.md §6): identify throughput through
 # the full handler stack, and incremental-vs-full catalog refresh across
 # store sizes — the flat incremental line is the claim.
@@ -156,6 +167,8 @@ bench-gate-run:
 	$(GO) test -run=NONE -bench='BenchmarkCatalogRefresh/incremental/jobs=16$$' -count=$(BENCH_GATE_COUNT) ./internal/catalog | tee -a $(BENCH_GATE_OUT)
 	$(GO) test -run=NONE -bench='BenchmarkInsertBatch/store=mem/shards=4/writers=4$$' -count=$(BENCH_GATE_COUNT) ./internal/sirendb | tee -a $(BENCH_GATE_OUT)
 	$(GO) test -run=NONE -bench='BenchmarkReceiverIngest/shards=4/payload=512$$' -count=$(BENCH_GATE_COUNT) ./internal/receiver | tee -a $(BENCH_GATE_OUT)
+	$(GO) test -run=NONE -bench='BenchmarkIngestInstrumented/shards=4/payload=512$$' -count=$(BENCH_GATE_COUNT) ./internal/receiver | tee -a $(BENCH_GATE_OUT)
+	$(GO) test -run=NONE -bench='BenchmarkHistogramRecord$$' -count=$(BENCH_GATE_COUNT) ./internal/obs | tee -a $(BENCH_GATE_OUT)
 	$(GO) test -run=NONE -bench='BenchmarkOpenSealed/rows=10000$$' -count=$(BENCH_GATE_COUNT) ./internal/sirendb | tee -a $(BENCH_GATE_OUT)
 	$(GO) test -run=NONE -bench='BenchmarkOpenReplay/rows=10000$$' -count=$(BENCH_GATE_COUNT) ./internal/sirendb | tee -a $(BENCH_GATE_OUT)
 
@@ -166,7 +179,7 @@ bench-rebaseline: bench-gate-run
 	$(GO) run ./cmd/benchdiff -write -out $(BENCH_BASELINE) $(BENCH_GATE_OUT)
 
 # Everything the three CI jobs run (test, e2e, bench), serially.
-ci: build vet fmt-check staticcheck sirenlint test-race test-runs test-cluster test-failover test-serve fuzz-smoke bench-smoke
+ci: build vet fmt-check staticcheck sirenlint test-race test-runs test-cluster test-failover test-serve test-obs fuzz-smoke bench-smoke
 	$(MAKE) bench-read BENCHTIME=1x
 	$(MAKE) bench-serve BENCHTIME=1x
 	$(MAKE) bench-gate

@@ -95,21 +95,21 @@ func (p *rcvProc) stop(t *testing.T) []string {
 	return append([]string(nil), p.lines...)
 }
 
-var statsRe = regexp.MustCompile(`received=(\d+) inserted=(\d+) malformed=(\d+) dropped=(\d+) rejected=(\d+) insert_errors=(\d+) insert_lost=(\d+) accepted_failover=(\d+) rows=(\d+)`)
+var statsRe = regexp.MustCompile(`received=(\d+) inserted=(\d+) malformed=(\d+) dropped=(\d+) rejected=(\d+) insert_errors=(\d+) insert_lost=(\d+) accepted_failover=(\d+) queue=(\d+) insert_p99_ns=(\d+) rows=(\d+)`)
 
 type rcvStats struct {
-	received, inserted, malformed, dropped, rejected, insertErrors, insertLost, acceptedFailover, rows int
+	received, inserted, malformed, dropped, rejected, insertErrors, insertLost, acceptedFailover, queue, insertP99NS, rows int
 }
 
 func finalStats(t *testing.T, lines []string) rcvStats {
 	t.Helper()
 	for i := len(lines) - 1; i >= 0; i-- {
 		if m := statsRe.FindStringSubmatch(lines[i]); m != nil {
-			f := make([]int, 9)
+			f := make([]int, 11)
 			for j := range f {
 				f[j], _ = strconv.Atoi(m[j+1])
 			}
-			return rcvStats{f[0], f[1], f[2], f[3], f[4], f[5], f[6], f[7], f[8]}
+			return rcvStats{f[0], f[1], f[2], f[3], f[4], f[5], f[6], f[7], f[8], f[9], f[10]}
 		}
 	}
 	t.Fatalf("no stats line in receiver output:\n%s", strings.Join(lines, "\n"))

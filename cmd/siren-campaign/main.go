@@ -6,7 +6,7 @@
 // Usage:
 //
 //	siren-campaign [-scale 0.02] [-seed 1] [-db siren.wal] [-udp] [-loss 0.0002] [-workers N]
-//	               [-send-retries R]
+//	               [-send-retries R] [-debug-addr HOST:PORT]
 //
 // -scale 1.0 regenerates the paper's full magnitudes (~2.3M processes;
 // allow a few minutes). -loss injects datagram loss to reproduce the
@@ -14,15 +14,28 @@
 // transport sends with jittered backoff (transient ENOBUFS bursts under
 // -udp) before counting the datagram lost, and prints the delivery
 // counters at the end.
+//
+// -debug-addr starts a debug listener for the duration of the run: GET
+// /metrics serves the pipeline's live telemetry (ingest stage histograms,
+// WAL fsync latency, send retries) in Prometheus text format, and the
+// net/http/pprof handlers under /debug/pprof/ profile a long full-scale
+// campaign while it executes.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"time"
 
 	"siren/internal/campaign"
 	"siren/internal/core"
+	"siren/internal/obs"
 	"siren/internal/report"
 )
 
@@ -34,11 +47,20 @@ func main() {
 	loss := flag.Float64("loss", 0, "datagram loss rate to inject (e.g. 0.0002)")
 	workers := flag.Int("workers", 0, "concurrent job executors (default GOMAXPROCS)")
 	sendRetries := flag.Int("send-retries", 0, "retries per failed transport send, with jittered backoff (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "HTTP listen address serving /metrics and /debug/pprof/ for the duration of the run (\"\" disables)")
 	flag.Parse()
 
 	opts := core.Options{DBPath: *dbPath, LossRate: *loss, LossSeed: *seed, SendRetries: *sendRetries}
 	if *udp {
 		opts.UDPAddr = "127.0.0.1:0"
+	}
+	if *debugAddr != "" {
+		opts.Metrics = obs.NewRegistry("siren-campaign")
+		shutdown, err := serveDebug(*debugAddr, opts.Metrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
 	}
 	pipeline, err := core.NewPipeline(opts)
 	if err != nil {
@@ -74,6 +96,36 @@ func main() {
 		fatal(err)
 	}
 	report.WriteEvaluation(os.Stdout, data, stats)
+}
+
+// serveDebug starts the run-scoped debug listener: /metrics in Prometheus
+// text format plus the pprof profiling handlers, on a dedicated mux —
+// handler by handler, never via net/http/pprof's blank-import side effect on
+// http.DefaultServeMux (the nodefaultmux contract).
+func serveDebug(addr string, reg *obs.Registry) (shutdown func(), err error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	hs := &http.Server{Handler: mux}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("debug: serving metrics and pprof on http://%s\n", ln.Addr())
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "siren-campaign: debug server:", err)
+		}
+	}()
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}, nil
 }
 
 func fatal(err error) {

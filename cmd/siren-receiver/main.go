@@ -12,7 +12,12 @@
 //	               [-db-shards S] [-sync-interval 100ms]
 //	               [-rcvbuf BYTES] [-stats-interval 10s]
 //	               [-serve-addr HOST:PORT] [-refresh-interval 5s]
-//	               [-seal-interval 0] [-retain 0]
+//	               [-seal-interval 0] [-retain 0] [-pprof]
+//
+// The -expvar-addr mux additionally serves GET /metrics — every tier's
+// latency histograms and counters (ingest stages, WAL fsync, seal phases,
+// catalog refresh, probe RTT) in Prometheus text format — and, with -pprof,
+// the net/http/pprof profiling handlers under /debug/pprof/.
 //
 // -seal-interval periodically freezes the WAL head into immutable sorted
 // run files (sirendb.Seal): restart replay then costs only the rows since
@@ -72,6 +77,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -81,6 +87,7 @@ import (
 
 	"siren/internal/catalog"
 	"siren/internal/membership"
+	"siren/internal/obs"
 	"siren/internal/receiver"
 	"siren/internal/server"
 	"siren/internal/sirendb"
@@ -143,6 +150,7 @@ func run() (err error) {
 	healthStall := flag.Duration("health-stall", 0, "make /healthz report 503 if the UDP socket is open but no datagram arrived for this long (0 disables stall detection)")
 	sealEvery := flag.Duration("seal-interval", 0, "period of sealing the WAL head into immutable run files (0 disables; bounds restart replay to the rows since the last seal)")
 	retain := flag.Int("retain", 0, "sealed generations to keep after each seal; older runs are deleted (0 keeps everything; requires -seal-interval)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ on the -expvar-addr mux")
 	serveAddr := flag.String("serve-addr", "", "HTTP listen address of the online recognition API over the live store (\"\" disables)")
 	refreshEvery := flag.Duration("refresh-interval", 5*time.Second, "period of incremental catalog refresh behind -serve-addr (<= 0 disables: the served catalog then never sees ingested rows)")
 	flag.Parse()
@@ -193,11 +201,22 @@ func run() (err error) {
 	// Defaulting the store shards to the writer count keeps the writer→store
 	// mapping 1:1, so every batch lands in its store shard without
 	// re-partitioning (receiver.ShardedStore).
+	if *pprofOn && *expvarAddr == "" {
+		return errors.New("-pprof needs -expvar-addr: the profiling handlers live on the stats mux")
+	}
+
+	// One process-wide metrics registry shared by every tier — the store's
+	// WAL/seal histograms, the receiver's pipeline stages, the catalog's
+	// refresh timings, the server's per-endpoint latencies and the prober's
+	// RTTs all register here, so a single GET /metrics scrape covers the
+	// whole pipeline (DESIGN.md §13).
+	reg := obs.NewRegistry("siren-receiver")
+
 	shards := *dbShards
 	if shards <= 0 {
 		shards = receiver.Options{Writers: *writers}.ResolvedWriters()
 	}
-	db, err := sirendb.OpenOptions(*dbPath, sirendb.Options{Shards: shards, SyncInterval: *syncEvery})
+	db, err := sirendb.OpenOptions(*dbPath, sirendb.Options{Shards: shards, SyncInterval: *syncEvery, Metrics: reg})
 	if err != nil {
 		return err
 	}
@@ -214,6 +233,7 @@ func run() (err error) {
 		Partition:  partition,
 		Partitions: partitions,
 		View:       view,
+		Metrics:    reg,
 	})
 	defer func() { err = errors.Join(err, rcv.Close()) }()
 	bound, err := rcv.ListenUDP(*addr)
@@ -243,6 +263,7 @@ func run() (err error) {
 		vars := new(expvar.Map).Init()
 		vars.Set("siren_receiver", expvar.Func(func() any { return rcv.Stats().Snapshot() }))
 		vars.Set("siren_store", expvar.Func(func() any { return db.Stats() }))
+		vars.Set("siren_metrics", reg.Expvar())
 		// Mirror the two vars the expvar package itself publishes, so
 		// scrapes of the old DefaultServeMux endpoint (heap/GC dashboards
 		// read memstats) keep working against the dedicated mux.
@@ -256,6 +277,17 @@ func run() (err error) {
 			w.Header().Set("Content-Type", "application/json; charset=utf-8")
 			io.WriteString(w, vars.String())
 		})
+		mux.Handle("/metrics", reg.Handler())
+		// Profiling rides the same dedicated mux, registered handler by
+		// handler — never via the package's blank-import side effect, which
+		// would publish on http.DefaultServeMux (the nodefaultmux contract).
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		// Liveness + ingest-stall for balancers and the failover protocol's
 		// confirm-probes: any answer (even 503 stalled) means the process is
 		// alive; only a transport error reads as death.
@@ -294,6 +326,7 @@ func run() (err error) {
 				fmt.Printf("siren-receiver: member %s (%s) marked down by health probe\n", m.ID, m.UDPAddr)
 			},
 		}
+		prober.InstrumentWith(reg)
 		prober.Start()
 		defer prober.Stop()
 	}
@@ -303,9 +336,9 @@ func run() (err error) {
 	// O(changed jobs) against the snapshot watermark; queries read the last
 	// published generation and never block ingest.
 	if *serveAddr != "" {
-		cat := catalog.New(catalog.StoreSource(db), catalog.Options{})
+		cat := catalog.New(catalog.StoreSource(db), catalog.Options{Metrics: reg})
 		cat.Refresh()
-		srv := server.New(cat)
+		srv := server.NewWithMetrics(cat, reg)
 		ln, err := net.Listen("tcp", *serveAddr)
 		if err != nil {
 			return err
@@ -382,7 +415,7 @@ func run() (err error) {
 			for {
 				select {
 				case <-t.C:
-					fmt.Printf("siren-receiver: %s rows=%d\n", rcv.Stats(), db.Count())
+					fmt.Printf("siren-receiver: %s rows=%d\n", rcv.StatsLine(), db.Count())
 				case <-stop:
 					return
 				}
@@ -397,6 +430,6 @@ func run() (err error) {
 	if err := rcv.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("siren-receiver: %s rows=%d\n", rcv.Stats(), db.Count())
+	fmt.Printf("siren-receiver: %s rows=%d\n", rcv.StatsLine(), db.Count())
 	return db.Close()
 }

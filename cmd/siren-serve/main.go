@@ -31,7 +31,10 @@
 // or an unmigrated legacy WAL is refused (open it writable once first).
 //
 // API: POST /api/v1/identify, GET /api/v1/jobs, /api/v1/clusters?threshold=,
-// /api/v1/report, /api/v1/stats, /healthz (see internal/server).
+// /api/v1/report, /api/v1/stats, /healthz (see internal/server). GET /metrics
+// serves the process's telemetry — per-endpoint latency histograms and the
+// catalog's refresh timings — in Prometheus text format, and -pprof adds the
+// net/http/pprof profiling handlers under /debug/pprof/ on the same listener.
 //
 // -refresh-interval re-captures the catalog periodically; it defaults to 0
 // (off) because an exclusively locked set cannot change. It exists for
@@ -44,12 +47,15 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"siren/internal/catalog"
+	"siren/internal/obs"
 	"siren/internal/server"
 	"siren/internal/sirendb"
 )
@@ -69,6 +75,7 @@ func run() (err error) {
 	refreshEvery := flag.Duration("refresh-interval", 0, "period of catalog re-capture (0 = off; a locked set cannot change)")
 	workers := flag.Int("workers", 0, "streaming-consolidation workers per refresh (0 = one per store shard)")
 	readonly := flag.Bool("readonly", false, "open every member with a shared lock: concurrent serve processes may share the campaign, writers stay excluded")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ on the query listener")
 	flag.Parse()
 
 	paths, err := sirendb.ResolveSetPaths(*dbSpec)
@@ -84,19 +91,36 @@ func run() (err error) {
 	// member close must surface in run's error, not vanish.
 	defer func() { err = errors.Join(err, set.Close()) }()
 
-	cat := catalog.New(catalog.SetSource(set), catalog.Options{Workers: *workers})
+	// One process registry: the catalog's refresh instruments and the
+	// server's per-endpoint histograms share it, so GET /metrics covers both.
+	reg := obs.NewRegistry("siren-serve")
+	cat := catalog.New(catalog.SetSource(set), catalog.Options{Workers: *workers, Metrics: reg})
 	rs := cat.Refresh()
 	fmt.Printf("siren-serve: catalog generation %d: %d jobs, %d processes, %d fingerprints (built in %s from %d members)\n",
 		rs.Gen, rs.Jobs, cat.Generation().Stats.Processes, cat.Generation().Index.Len(), rs.Elapsed.Round(time.Millisecond), len(paths))
 
-	srv := server.New(cat)
+	srv := server.NewWithMetrics(cat, reg)
+	// The query API hangs off an outer mux so profiling can ride the same
+	// listener; the pprof handlers are registered one by one — never via the
+	// package's blank-import side effect, which would publish on
+	// http.DefaultServeMux (the nodefaultmux contract).
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	hs := &http.Server{Handler: mux}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("siren-serve: serving on http://%s\n", ln.Addr())
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(ln) }()
+	go func() { serveErr <- hs.Serve(ln) }()
 
 	stop := make(chan struct{})
 	defer close(stop)
@@ -125,7 +149,7 @@ func run() (err error) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	if err := hs.Shutdown(ctx); err != nil {
 		return err
 	}
 	fmt.Println("siren-serve: drained")

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"siren/internal/analysis"
+	"siren/internal/obs"
 	"siren/internal/postprocess"
 )
 
@@ -47,6 +48,10 @@ type Options struct {
 	// Workers bounds the streaming-consolidation workers per refresh pass
 	// (0 = one per shard cursor, the shard-mirrored default).
 	Workers int
+	// Metrics, when non-nil, registers the catalog's instruments there:
+	// Refresh wall-time histogram and counters for jobs spliced forward vs
+	// re-consolidated (see internal/obs). Nil leaves Refresh uninstrumented.
+	Metrics *obs.Registry
 }
 
 // Generation is one immutable published state of the catalog. All fields
@@ -118,6 +123,12 @@ type Catalog struct {
 	refreshes atomic.Uint64
 
 	refreshMu sync.Mutex // serialises refreshes; never held by queries
+
+	// obs instruments (nil when Options.Metrics is nil; all nil-safe).
+	refreshNS      *obs.Histogram
+	carriedTotal   *obs.Counter
+	reconsolidated *obs.Counter
+	refreshesCt    *obs.Counter
 }
 
 // New builds a catalog over source. The catalog starts at an empty boot
@@ -125,6 +136,12 @@ type Catalog struct {
 // publish the first real generation.
 func New(source Source, opts Options) *Catalog {
 	c := &Catalog{source: source, opts: opts}
+	if reg := opts.Metrics; reg != nil {
+		c.refreshNS = reg.Histogram("siren_catalog_refresh_ns", "catalog Refresh wall time per pass (no-ops included)")
+		c.carriedTotal = reg.Counter("siren_catalog_jobs_carried_total", "jobs spliced forward unchanged across refreshes")
+		c.reconsolidated = reg.Counter("siren_catalog_jobs_reconsolidated_total", "jobs re-consolidated by refreshes")
+		c.refreshesCt = reg.Counter("siren_catalog_refreshes_total", "refresh passes run (no-ops included)")
+	}
 	boot := &Generation{
 		Dataset: analysis.NewDataset(nil),
 		Index:   analysis.NewFingerprintIndex(nil),
@@ -256,4 +273,8 @@ func (c *Catalog) Refresh() RefreshStats {
 func (c *Catalog) finish(rs RefreshStats) {
 	c.refreshes.Add(1)
 	c.last.Store(&rs)
+	c.refreshNS.Observe(rs.Elapsed)
+	c.carriedTotal.Add(int64(rs.Carried))
+	c.reconsolidated.Add(int64(rs.Reconsolidated))
+	c.refreshesCt.Inc()
 }

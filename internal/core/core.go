@@ -23,6 +23,7 @@ import (
 	"siren/internal/campaign"
 	"siren/internal/collector"
 	"siren/internal/membership"
+	"siren/internal/obs"
 	"siren/internal/postprocess"
 	"siren/internal/receiver"
 	"siren/internal/sirendb"
@@ -53,6 +54,11 @@ type Options struct {
 	// on the first error, and surfaces what remains in SendStats. Applied
 	// inside any loss injection so LossRate still measures end-loss.
 	SendRetries int
+	// Metrics, when non-nil, instruments the whole pipeline into one
+	// registry: the store's WAL/seal histograms, the receiver's stage
+	// latencies and queue gauges, and the retrying sender's delivery
+	// counters (see internal/obs). Nil runs uninstrumented.
+	Metrics *obs.Registry
 }
 
 // Pipeline owns the receiver side of a SIREN deployment plus the transport
@@ -75,13 +81,14 @@ func NewPipeline(opts Options) (*Pipeline, error) {
 	// Size the store's shards 1:1 with the receiver's writer shards so
 	// batches route writer→store shard directly (receiver.ShardedStore).
 	db, err := sirendb.OpenOptions(opts.DBPath, sirendb.Options{
-		Shards: receiver.Options{Writers: opts.Writers}.ResolvedWriters(),
+		Shards:  receiver.Options{Writers: opts.Writers}.ResolvedWriters(),
+		Metrics: opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
 	}
 	p := &Pipeline{db: db}
-	p.rcv = receiver.New(db, receiver.Options{Depth: depth, Readers: opts.Readers, Writers: opts.Writers})
+	p.rcv = receiver.New(db, receiver.Options{Depth: depth, Readers: opts.Readers, Writers: opts.Writers, Metrics: opts.Metrics})
 
 	if opts.UDPAddr != "" {
 		addr, err := p.rcv.ListenUDP(opts.UDPAddr)
@@ -109,6 +116,7 @@ func NewPipeline(opts Options) (*Pipeline, error) {
 			Retries: opts.SendRetries,
 			Backoff: membership.Backoff{Base: 5 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: 0.2},
 		}
+		p.retryTr.InstrumentWith(opts.Metrics)
 		p.transport = p.retryTr
 	}
 	if opts.LossRate > 0 {

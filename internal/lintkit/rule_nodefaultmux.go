@@ -21,10 +21,28 @@ type noDefaultMux struct{}
 
 func (noDefaultMux) Name() string { return "nodefaultmux" }
 func (noDefaultMux) Doc() string {
-	return "forbid http.DefaultServeMux, http.Handle/HandleFunc, and global expvar registration outside package main"
+	return "forbid http.DefaultServeMux, http.Handle/HandleFunc, global expvar registration outside package main, and blank net/http/pprof imports anywhere"
 }
 
 func (noDefaultMux) Run(p *Pass) {
+	// The blank pprof import is forbidden even in package main: its only
+	// effect is init-time registration on http.DefaultServeMux, which every
+	// siren binary deliberately never serves (each owns a dedicated mux).
+	// A main that wants profiling imports the package normally and mounts
+	// pprof.Index/Cmdline/Profile/Symbol/Trace on its own mux, so the
+	// handlers are visible, gated by a flag, and on the listener the
+	// operator chose.
+	if !isExample(p.Pkg) {
+		for _, f := range p.Pkg.Files {
+			for _, imp := range f.Imports {
+				if imp.Name != nil && imp.Name.Name == "_" && imp.Path.Value == `"net/http/pprof"` {
+					p.Reportf(imp.Pos(),
+						"blank net/http/pprof import in package %s registers profiling on the global DefaultServeMux: import it normally and mount its handler funcs on a local mux",
+						p.Pkg.Types.Name())
+				}
+			}
+		}
+	}
 	if isMainPkg(p.Pkg) || isExample(p.Pkg) {
 		return
 	}

@@ -1,10 +1,15 @@
 // Fixture: package main may make process-global decisions — that is the
-// whole point of the rule's scoping.
+// whole point of the rule's scoping. The one exception is the blank
+// net/http/pprof import: it fires even here, because its only effect is
+// registering on a DefaultServeMux no siren binary serves.
 package main
 
 import (
 	"expvar"
 	"net/http"
+	"net/http/pprof"
+
+	_ "net/http/pprof" // want "blank net/http/pprof import in package main"
 )
 
 func main() {
@@ -12,4 +17,11 @@ func main() {
 	http.HandleFunc("/ping", func(w http.ResponseWriter, r *http.Request) {}) // ok
 	_ = expvar.NewMap("siren")                                                // ok
 	_ = http.DefaultServeMux                                                  // ok
+
+	// The sanctioned pattern: a normal import mounted handler by handler on
+	// a locally built mux.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index) // ok: explicit handler on a local mux
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	_ = mux
 }

@@ -6,6 +6,8 @@ package server
 import (
 	"expvar"
 	"net/http"
+
+	_ "net/http/pprof" // want "blank net/http/pprof import in package server"
 )
 
 var hits = new(expvar.Map) // ok: unregistered map, host decides whether to publish

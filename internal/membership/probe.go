@@ -7,6 +7,8 @@ import (
 	"net/url"
 	"sync"
 	"time"
+
+	"siren/internal/obs"
 )
 
 // ProbeLive checks whether the process behind healthAddr is alive. Liveness
@@ -77,6 +79,10 @@ type Prober struct {
 	wg    sync.WaitGroup
 	stop  chan struct{}
 	fails []int
+
+	// obs instruments, set by InstrumentWith (nil-safe when absent).
+	rttNS      *obs.Histogram
+	probeFails *obs.Counter
 }
 
 // Start launches the probe loop. Stop joins it.
@@ -130,13 +136,16 @@ func (p *Prober) round() {
 		if m.HealthAddr == "" {
 			continue
 		}
+		start := time.Now()
 		if err := ProbeLive(m.HealthAddr, p.Timeout); err != nil {
+			p.probeFails.Inc()
 			p.fails[i]++
 			if p.fails[i] >= p.FailThreshold && p.View.MarkDownIndex(i) && p.OnDown != nil {
 				p.OnDown(i, m)
 			}
 			continue
 		}
+		p.rttNS.Since(start)
 		p.fails[i] = 0
 	}
 }

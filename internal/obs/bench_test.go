@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkHistogramRecord is bench-gated: the record path is what every
+// ingest datagram and every WAL append pays, so it must stay lock-free and
+// allocation-free (the gate also watches ns/op; allocs/op is asserted
+// here directly — the acceptance bar is ≤2, the implementation does 0).
+func BenchmarkHistogramRecord(b *testing.B) {
+	r := NewRegistry("bench")
+	h := r.Histogram("siren_bench_ns", "")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		var v int64
+		for pb.Next() {
+			v = (v + 1037) & 0xfffff
+			h.Record(v)
+		}
+	})
+}
+
+func TestHistogramRecordAllocs(t *testing.T) {
+	r := NewRegistry("alloc")
+	h := r.Histogram("siren_alloc_ns", "")
+	var v atomic.Int64
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(v.Add(977))
+	})
+	if allocs > 2 {
+		t.Fatalf("Record allocates %.1f times per op, want <= 2", allocs)
+	}
+}
+
+func BenchmarkHistogramSnapshot(b *testing.B) {
+	r := NewRegistry("bench")
+	h := r.Histogram("siren_bench_ns", "")
+	for i := int64(1); i < 1<<40; i *= 2 {
+		h.Record(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Snapshot()
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry("bench")
+	for i := 0; i < 8; i++ {
+		h := r.Histogram("siren_bench_ns", "", L("shard", string(rune('0'+i))))
+		for v := int64(1); v < 1<<30; v *= 2 {
+			h.Record(v)
+		}
+	}
+	b.ReportAllocs()
+	var sb strings.Builder
+	for i := 0; i < b.N; i++ {
+		sb.Reset()
+		_ = r.WritePrometheus(&sb)
+	}
+}

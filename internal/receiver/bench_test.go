@@ -19,6 +19,7 @@ import (
 	"strings"
 	"testing"
 
+	"siren/internal/obs"
 	"siren/internal/sirendb"
 	"siren/internal/wire"
 )
@@ -35,12 +36,12 @@ func benchDatagrams(payload int) [][]byte {
 	return dgs
 }
 
-func benchIngest(b *testing.B, writers, payload, dbShards int) {
+func benchIngest(b *testing.B, writers, payload, dbShards int, reg *obs.Registry) {
 	db, err := sirendb.OpenOptions("", sirendb.Options{Shards: dbShards})
 	if err != nil {
 		b.Fatal(err)
 	}
-	r := New(db, Options{Writers: writers, Depth: 1 << 14, BatchMax: 256})
+	r := New(db, Options{Writers: writers, Depth: 1 << 14, BatchMax: 256, Metrics: reg})
 	r.startWriters()
 	dgs := benchDatagrams(payload)
 	b.SetBytes(int64(len(dgs[0])))
@@ -69,7 +70,22 @@ func BenchmarkReceiverIngest(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		for _, payload := range []int{64, 512, 1300} {
 			b.Run(fmt.Sprintf("shards=%d/payload=%d", shards, payload), func(b *testing.B) {
-				benchIngest(b, shards, payload, shards)
+				benchIngest(b, shards, payload, shards, nil)
+			})
+		}
+	}
+}
+
+// BenchmarkIngestInstrumented is bench-gated alongside BenchmarkReceiverIngest:
+// the identical hot path with a full obs registry attached (stage histograms
+// stamping every datagram twice, queue-depth gauges, counter bridges), so the
+// per-datagram cost of instrumentation itself is regression-gated — the gap
+// between this and the uninstrumented run is the telemetry tax.
+func BenchmarkIngestInstrumented(b *testing.B) {
+	for _, shards := range []int{4} {
+		for _, payload := range []int{512} {
+			b.Run(fmt.Sprintf("shards=%d/payload=%d", shards, payload), func(b *testing.B) {
+				benchIngest(b, shards, payload, shards, obs.NewRegistry("bench"))
 			})
 		}
 	}
@@ -81,7 +97,7 @@ func BenchmarkReceiverIngest(b *testing.B) {
 func BenchmarkReceiverIngestSingleMutexStore(b *testing.B) {
 	for _, payload := range []int{64, 512, 1300} {
 		b.Run(fmt.Sprintf("writers=4/payload=%d", payload), func(b *testing.B) {
-			benchIngest(b, 4, payload, 1)
+			benchIngest(b, 4, payload, 1, nil)
 		})
 	}
 }

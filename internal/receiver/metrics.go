@@ -1,0 +1,73 @@
+package receiver
+
+import (
+	"fmt"
+	"strconv"
+
+	"siren/internal/obs"
+)
+
+// rcvMetrics holds the receiver's obs instruments, one per ingest stage.
+// The zero value (every field nil) is the uninstrumented state: obs methods
+// are nil-receiver safe, and the per-datagram paths additionally gate their
+// time.Now() calls on instrumented() so an uninstrumented receiver pays
+// only a nil check — pinned by BenchmarkReceiverIngest staying on its
+// baseline while BenchmarkIngestInstrumented gates the instrumented cost.
+type rcvMetrics struct {
+	// parseNS is wire.Parse latency per datagram — the CPU half of the
+	// write path; a p99 jump here means malformed floods or jumbo payloads.
+	parseNS *obs.Histogram
+	// queueWaitNS is shard-channel residency (dispatch → writer dequeue) —
+	// the backpressure signal: it grows before Dropped does.
+	queueWaitNS *obs.Histogram
+	// insertNS is the InsertBatch/InsertShard call latency per flushed
+	// batch — the disk half; its p99 is what the periodic stats line prints.
+	insertNS *obs.Histogram
+}
+
+func (m *rcvMetrics) instrumented() bool { return m.parseNS != nil }
+
+// registerMetrics creates the receiver's instruments in reg: the three
+// stage histograms, a queue-depth gauge per writer shard, and counter
+// bridges onto the existing Stats atomics (the hot path keeps its single
+// increment; the registry reads the atomics only when scraped).
+func (r *Receiver) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	r.mx = rcvMetrics{
+		parseNS:     reg.Histogram("siren_ingest_parse_ns", "wire.Parse latency per datagram"),
+		queueWaitNS: reg.Histogram("siren_ingest_queue_wait_ns", "shard-channel residency from dispatch to writer dequeue"),
+		insertNS:    reg.Histogram("siren_ingest_insert_ns", "store insert latency per flushed batch"),
+	}
+	for i := range r.shards {
+		ch := r.shards[i]
+		reg.GaugeFunc("siren_ingest_queue_depth", "queued datagrams per writer shard",
+			func() int64 { return int64(len(ch)) }, obs.L("shard", strconv.Itoa(i)))
+	}
+	reg.CounterFunc("siren_ingest_received_total", "datagrams read from the transport", r.stats.Received.Load)
+	reg.CounterFunc("siren_ingest_inserted_total", "messages stored in the database", r.stats.Inserted.Load)
+	reg.CounterFunc("siren_ingest_malformed_total", "datagrams that failed to parse", r.stats.Malformed.Load)
+	reg.CounterFunc("siren_ingest_dropped_total", "datagrams dropped on a full shard channel", r.stats.Dropped.Load)
+	reg.CounterFunc("siren_ingest_rejected_total", "datagrams outside this receiver's partition or ownership", r.stats.Rejected.Load)
+	reg.CounterFunc("siren_ingest_insert_errors_total", "failed insert calls", r.stats.InsertErrors.Load)
+}
+
+// StatsLine renders the periodic log line cmd/siren-receiver prints: the
+// Stats counter snapshot plus the live queue depth and the insert-latency
+// p99 so far (0 when the receiver is uninstrumented or idle) — the two
+// leading indicators of a drowning writer tier, visible without a scrape.
+func (r *Receiver) StatsLine() string {
+	return fmt.Sprintf("%s queue=%d insert_p99_ns=%d",
+		r.stats.String(), r.QueueDepth(), r.mx.insertNS.Snapshot().P99)
+}
+
+// QueueDepth reports the total number of datagrams queued across all writer
+// shard channels at this instant.
+func (r *Receiver) QueueDepth() int {
+	n := 0
+	for _, sh := range r.shards {
+		n += len(sh)
+	}
+	return n
+}

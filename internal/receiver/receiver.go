@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"siren/internal/membership"
+	"siren/internal/obs"
 	"siren/internal/sirendb"
 	"siren/internal/wire"
 )
@@ -127,10 +128,13 @@ type ShardedStore interface {
 }
 
 // pkt is one in-flight datagram. When buf is non-nil the data slice aliases
-// a pooled buffer that must be returned to bufPool after parsing.
+// a pooled buffer that must be returned to bufPool after parsing. enq is
+// the dispatch timestamp (UnixNano) stamped only when the receiver is
+// instrumented; the writer turns it into the queue-wait histogram sample.
 type pkt struct {
 	data []byte
 	buf  *[]byte
+	enq  int64
 }
 
 // bufPool recycles datagram buffers between readers and writers, eliminating
@@ -155,6 +159,7 @@ type Receiver struct {
 	partitions int              // size of the partition space (<= 1: accept everything)
 	view       *membership.View // membership-table admission (nil: static partition admission)
 	selfIdx    int              // this receiver's index in view's roster
+	mx         rcvMetrics       // obs instruments (zero value = uninstrumented)
 
 	// Health state (see health.go): when the datagram source opened and when
 	// the last datagram arrived, as UnixNano (0 = never).
@@ -217,6 +222,11 @@ type Options struct {
 	// receiver). Admissions whose rank-0 owner is marked down are counted in
 	// Stats.AcceptedFailover. Mutually exclusive with Partitions > 1.
 	View *membership.View
+	// Metrics, when non-nil, registers the receiver's instruments there:
+	// per-stage latency histograms (parse, shard-queue wait, insert batch),
+	// per-shard queue-depth gauges, and counter bridges onto Stats (see
+	// internal/obs). Nil leaves the per-datagram paths uninstrumented.
+	Metrics *obs.Registry
 }
 
 func (o *Options) defaults() {
@@ -286,6 +296,7 @@ func New(db Store, opts Options) *Receiver {
 	if ss, ok := db.(ShardedStore); ok && ss.StoreShards() == len(r.shards) {
 		r.direct = ss
 	}
+	r.registerMetrics(opts.Metrics)
 	return r
 }
 
@@ -428,6 +439,9 @@ func (r *Receiver) dispatch(p pkt, block bool) {
 			}
 		}
 	}
+	if r.mx.instrumented() {
+		p.enq = time.Now().UnixNano()
+	}
 	sh := r.shards[idx]
 	if block {
 		sh <- p
@@ -464,6 +478,10 @@ func (r *Receiver) writeLoop(idx int, ch chan pkt) {
 		if len(batch) == 0 {
 			return
 		}
+		var insStart time.Time
+		if r.mx.insertNS != nil {
+			insStart = time.Now()
+		}
 		if err := insert(); err != nil {
 			// The batch is lost, but never silently: both the failed call
 			// and the message count surface in Stats.
@@ -472,10 +490,20 @@ func (r *Receiver) writeLoop(idx int, ch chan pkt) {
 		} else {
 			r.stats.Inserted.Add(int64(len(batch)))
 		}
+		r.mx.insertNS.Since(insStart)
 		batch = batch[:0]
 	}
 	add := func(p pkt) {
+		var parseStart time.Time
+		if r.mx.instrumented() {
+			// One clock read ends the queue-wait stage and starts parse.
+			parseStart = time.Now()
+			if p.enq != 0 {
+				r.mx.queueWaitNS.Record(parseStart.UnixNano() - p.enq)
+			}
+		}
 		m, err := wire.Parse(p.data)
+		r.mx.parseNS.Since(parseStart)
 		release(p) // Parse copied what it needs; recycle immediately
 		if err != nil {
 			r.stats.Malformed.Add(1)

@@ -16,6 +16,12 @@
 //	GET  /api/v1/stats               catalog generation + request counters
 //	GET  /healthz                    liveness
 //	GET  /debug/vars                 per-endpoint latency expvars
+//	GET  /metrics                    Prometheus text exposition (internal/obs)
+//
+// Every endpoint is instrumented with a log-bucketed latency histogram
+// (internal/obs) alongside the original cumulative expvar counters, so
+// /api/v1/stats reports tail percentiles, /metrics serves scrapers, and the
+// /debug/vars shapes existing tooling parses stay byte-compatible.
 //
 // The server owns a dedicated mux and http.Server — nothing registers on
 // http.DefaultServeMux, and nothing publishes to the global expvar registry,
@@ -38,6 +44,7 @@ import (
 
 	"siren/internal/analysis"
 	"siren/internal/catalog"
+	"siren/internal/obs"
 	"siren/internal/report"
 	"siren/internal/ssdeep"
 )
@@ -47,11 +54,14 @@ import (
 const DefaultTopK = 10
 
 // endpointVars are one endpoint's counters, exposed both under /debug/vars
-// and inside /api/v1/stats.
+// and inside /api/v1/stats. The expvar ints are the backward-compatible
+// cumulative counters; lat is the obs histogram behind the percentile
+// fields and the /metrics exposition.
 type endpointVars struct {
 	Requests  expvar.Int
 	Errors    expvar.Int
 	LatencyNS expvar.Int
+	lat       *obs.Histogram
 }
 
 // Server is the query tier over one catalog.
@@ -59,7 +69,8 @@ type Server struct {
 	cat  *catalog.Catalog
 	mux  *http.ServeMux
 	hs   *http.Server
-	vars *expvar.Map // unregistered: never touches the global expvar registry
+	vars *expvar.Map   // unregistered: never touches the global expvar registry
+	reg  *obs.Registry // the /metrics registry; shared when injected via NewWithMetrics
 
 	endpoints map[string]*endpointVars
 	started   time.Time
@@ -88,12 +99,24 @@ type clustersEntry struct {
 	resp *ClustersResponse
 }
 
-// New builds a server over cat with a dedicated mux.
+// New builds a server over cat with a dedicated mux and its own private
+// metrics registry (served on GET /metrics).
 func New(cat *catalog.Catalog) *Server {
+	return NewWithMetrics(cat, nil)
+}
+
+// NewWithMetrics builds a server whose instruments register into reg, so a
+// process running several tiers (a receiver with -serve-addr) exposes one
+// unified /metrics covering all of them. A nil reg gets a private registry.
+func NewWithMetrics(cat *catalog.Catalog, reg *obs.Registry) *Server {
+	if reg == nil {
+		reg = obs.NewRegistry("siren-server")
+	}
 	s := &Server{
 		cat:            cat,
 		mux:            http.NewServeMux(),
 		vars:           new(expvar.Map).Init(),
+		reg:            reg,
 		endpoints:      make(map[string]*endpointVars),
 		started:        time.Now(),
 		cachedClusters: make(map[string]*clustersEntry),
@@ -116,12 +139,18 @@ func New(cat *catalog.Catalog) *Server {
 			"refreshes":  cat.Refreshes(),
 		}
 	}))
+	s.vars.Set("siren_metrics", s.reg.Expvar())
 	s.mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		io.WriteString(w, s.vars.String())
 	})
+	s.mux.Handle("/metrics", s.reg.Handler())
 	return s
 }
+
+// Metrics returns the server's registry — the injection point for callers
+// that want to add their own instruments to this server's /metrics.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // apiError carries an HTTP status with its message.
 type apiError struct {
@@ -156,7 +185,7 @@ func (cw *committedWriter) Write(p []byte) (int, error) {
 // cumulative latency gauge per endpoint, grouped under "endpoint_<name>" in
 // the vars map.
 func (s *Server) handle(name, pattern string, h func(w http.ResponseWriter, r *http.Request) error) {
-	ev := &endpointVars{}
+	ev := &endpointVars{lat: s.reg.Histogram("siren_http_request_ns", "request latency per endpoint", obs.L("endpoint", name))}
 	s.endpoints[name] = ev
 	em := new(expvar.Map).Init()
 	em.Set("requests", &ev.Requests)
@@ -168,8 +197,10 @@ func (s *Server) handle(name, pattern string, h func(w http.ResponseWriter, r *h
 		start := time.Now()
 		cw := &committedWriter{ResponseWriter: w}
 		err := h(cw, r)
+		elapsed := time.Since(start)
 		ev.Requests.Add(1)
-		ev.LatencyNS.Add(time.Since(start).Nanoseconds())
+		ev.LatencyNS.Add(elapsed.Nanoseconds())
+		ev.lat.Observe(elapsed)
 		if err == nil {
 			return
 		}
@@ -265,11 +296,19 @@ type ReportResponse struct {
 	Report     *report.JSONReport `json:"report"`
 }
 
-// EndpointStats are one endpoint's counters in /api/v1/stats.
+// EndpointStats are one endpoint's counters in /api/v1/stats. The original
+// cumulative fields are kept byte-compatible; the percentile fields are
+// additive, derived from the endpoint's latency histogram — a cumulative
+// sum divided by requests is a mean, and a mean hides exactly the tail an
+// operator is hunting.
 type EndpointStats struct {
 	Requests       int64 `json:"requests"`
 	Errors         int64 `json:"errors"`
 	LatencyNSTotal int64 `json:"latency_ns_total"`
+	LatencyP50NS   int64 `json:"latency_p50_ns"`
+	LatencyP90NS   int64 `json:"latency_p90_ns"`
+	LatencyP99NS   int64 `json:"latency_p99_ns"`
+	LatencyMaxNS   int64 `json:"latency_max_ns"`
 }
 
 // RefreshJSON describes the catalog's most recent refresh pass.
@@ -478,10 +517,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 		}
 	}
 	for name, ev := range s.endpoints {
+		hs := ev.lat.Snapshot()
 		resp.Endpoints[name] = EndpointStats{
 			Requests:       ev.Requests.Value(),
 			Errors:         ev.Errors.Value(),
 			LatencyNSTotal: ev.LatencyNS.Value(),
+			LatencyP50NS:   hs.P50,
+			LatencyP90NS:   hs.P90,
+			LatencyP99NS:   hs.P99,
+			LatencyMaxNS:   hs.Max,
 		}
 	}
 	return writeJSON(w, resp)

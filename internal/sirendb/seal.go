@@ -39,6 +39,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"siren/internal/sirendb/runfmt"
 )
@@ -276,6 +277,8 @@ func (db *DB) Seal() error {
 	if total == 0 {
 		return nil
 	}
+	sealStart := time.Now()
+	phaseStart := sealStart
 
 	// Phase 1: write one fsynced run per non-empty shard.
 	db.sealMu.Lock()
@@ -314,6 +317,8 @@ func (db *DB) Seal() error {
 		discard()
 		return fmt.Errorf("sirendb: seal: %w", err)
 	}
+	db.mx.sealPhaseNS[0].Since(phaseStart)
+	phaseStart = time.Now()
 
 	// Phase 2: commit. The marker replace is atomic; once durable, the runs
 	// are the authoritative home of every sealed row. A marker-write error
@@ -323,6 +328,8 @@ func (db *DB) Seal() error {
 		db.recordSyncErr(fmt.Errorf("sirendb: seal interrupted, reopen to recover: %w", err))
 		return fmt.Errorf("sirendb: seal: %w", err)
 	}
+	db.mx.sealPhaseNS[1].Since(phaseStart)
+	phaseStart = time.Now()
 	if db.testCrashAfterSealCommit {
 		err := fmt.Errorf("sirendb: seal: injected crash after commit marker")
 		db.recordSyncErr(fmt.Errorf("sirendb: seal interrupted, reopen to complete: %w", err))
@@ -353,6 +360,8 @@ func (db *DB) Seal() error {
 		s.written = int64(len(segMagic))
 		s.synced.Store(int64(len(segMagic)))
 	}
+	db.mx.sealPhaseNS[2].Since(phaseStart)
+	phaseStart = time.Now()
 
 	// Phase 4: leftover segments from an older shard count were replayed
 	// into the head and are now sealed; drop them. Then swap the in-memory
@@ -387,6 +396,8 @@ func (db *DB) Seal() error {
 	// Corrupt WAL residue (skipped, counted records) was truncated with the
 	// segments, same as after a Compact rewrite.
 	db.corrupt.Store(0)
+	db.mx.sealPhaseNS[3].Since(phaseStart)
+	db.mx.sealNS.Since(sealStart)
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"siren/internal/obs"
 	"siren/internal/sirendb/runfmt"
 	"siren/internal/wire"
 )
@@ -71,6 +72,12 @@ type shard struct {
 	// after the first unsynced append; further appends in the window
 	// piggyback on the pending commit.
 	dirty chan struct{}
+
+	// fsyncNS / commitBytes are the store's group-commit instruments,
+	// shared by every shard (nil-safe no-ops when the store is
+	// uninstrumented; see storeMetrics).
+	fsyncNS     *obs.Histogram
+	commitBytes *obs.Histogram
 }
 
 // sortedKeys is an immutable sorted key cache for one secondary index.
@@ -152,9 +159,12 @@ func (s *shard) fsync() error {
 	if f == nil || s.synced.Load() >= w {
 		return nil
 	}
+	start := time.Now()
 	if err := fdatasync(f); err != nil {
 		return err
 	}
+	s.fsyncNS.Since(start)
+	s.commitBytes.Record(w - s.synced.Load())
 	s.synced.Store(w)
 	return nil
 }

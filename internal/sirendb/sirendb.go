@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"siren/internal/obs"
 	"siren/internal/wire"
 )
 
@@ -73,6 +74,11 @@ type Options struct {
 	// operations return ErrReadOnly. A store left needing writable recovery
 	// (legacy WAL, uncompleted compaction) refuses to open read-only.
 	ReadOnly bool
+	// Metrics, when non-nil, registers the store's instruments there: WAL
+	// append and group-commit fdatasync latency, commit batch bytes, Seal
+	// phase durations, and run-read errors (see internal/obs). Nil leaves
+	// every hot path uninstrumented at zero cost.
+	Metrics *obs.Registry
 }
 
 func (o *Options) defaults() {
@@ -112,6 +118,10 @@ type DB struct {
 	sealedSeq   uint64
 	runReadErrs atomic.Int64
 
+	// mx holds the store's obs instruments; the zero value is the
+	// uninstrumented no-op state (see storeMetrics).
+	mx storeMetrics
+
 	stopSync   chan struct{}
 	syncWG     sync.WaitGroup
 	syncErrMu  sync.Mutex
@@ -140,9 +150,12 @@ func Open(path string) (*DB, error) { return OpenOptions(path, Options{}) }
 func OpenOptions(path string, opts Options) (*DB, error) {
 	opts.defaults()
 	db := &DB{path: path, opts: opts, stopSync: make(chan struct{})}
+	db.mx = newStoreMetrics(opts.Metrics)
 	db.shards = make([]*shard, opts.Shards)
 	for i := range db.shards {
 		db.shards[i] = newShard()
+		db.shards[i].fsyncNS = db.mx.fsyncNS
+		db.shards[i].commitBytes = db.mx.commitBytes
 	}
 	if path == "" {
 		return db, nil
@@ -288,6 +301,7 @@ func (db *DB) insertShard(s *shard, ms []wire.Message) error {
 		for i := range offs {
 			patchRecordSeq(buf, offs[i], sums[i], start+1+uint64(i))
 		}
+		appendStart := time.Now()
 		if _, err := s.wal.Write(buf); err != nil {
 			// A short write advanced the file offset past s.written; rewind
 			// so the next append overwrites the partial record instead of
@@ -303,6 +317,7 @@ func (db *DB) insertShard(s *shard, ms []wire.Message) error {
 			s.mu.Unlock()
 			return fmt.Errorf("sirendb: WAL write: %w", err)
 		}
+		db.mx.walAppendNS.Since(appendStart)
 		s.written += int64(len(buf))
 	}
 	for i := range ms {
@@ -372,7 +387,10 @@ func (db *DB) tierViews() (rows [][]row, runs [][]sealedRun) {
 // early rather than yielding wrong rows; the counter surfaces through Stats
 // so the loss is observable, in keeping with SIREN's graceful-failure
 // design (a torn *committed* run is caught hard at Open instead).
-func (db *DB) noteRunErr(error) { db.runReadErrs.Add(1) }
+func (db *DB) noteRunErr(error) {
+	db.runReadErrs.Add(1)
+	db.mx.runReadErrs.Inc()
+}
 
 // Scan streams every message exactly once; return false to stop. The
 // stream is a seq-merge across shard heads and sealed runs: head rows come

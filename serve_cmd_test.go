@@ -158,6 +158,16 @@ func TestServeCommand(t *testing.T) {
 		t.Fatalf("identify: status %d err %v", resp.StatusCode, err)
 	}
 
+	// GET /metrics: the standalone server serves the shared registry — its
+	// per-endpoint latency histograms plus the catalog's one boot refresh.
+	text := scrape(t, base+"/metrics")
+	if !strings.Contains(text, "# TYPE siren_http_request_ns histogram") {
+		t.Errorf("/metrics missing the endpoint latency histogram:\n%s", text)
+	}
+	if got := sampleValue(text, "siren_catalog_refresh_ns_count"); got != 1 {
+		t.Errorf("siren_catalog_refresh_ns_count = %d, want 1 (the boot refresh)", got)
+	}
+
 	out := stop()
 	if !strings.Contains(out, "drained") {
 		t.Errorf("shutdown did not drain cleanly:\n%s", out)
