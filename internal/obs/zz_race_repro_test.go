@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"testing"
+)
+
+func TestReproRegisterScrapeRace(t *testing.T) {
+	r := NewRegistry("x")
+	r.Counter("siren_x_total", "", L("i", "seed")).Inc()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.WritePrometheus(io.Discard)
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		r.Counter("siren_x_total", "", L("i", strconv.Itoa(i))).Inc()
+	}
+	close(stop)
+	<-done
+}
